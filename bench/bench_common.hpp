@@ -1,0 +1,37 @@
+#pragma once
+// Shared helpers for the bench binaries. Every bench regenerates one
+// table or figure of the paper on synthetic data; sizes honor the
+// NGS_BENCH_SCALE environment variable (default noted per bench) so the
+// same binaries run heavier reproductions unchanged.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sim/datasets.hpp"
+#include "util/memory.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace ngs::bench {
+
+inline double scale_or(double default_scale) {
+  const char* s = std::getenv("NGS_BENCH_SCALE");
+  if (s == nullptr) return default_scale;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : default_scale;
+}
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::cout << "==== " << title << " ====\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << "\n";
+}
+
+/// Memory delta helper for the "Memory (GB)" columns: peak RSS is
+/// process-wide, so benches report the peak after each method ran.
+inline std::string mem_gb() {
+  return util::Table::fixed(util::to_gib(util::peak_rss_bytes()), 2);
+}
+
+}  // namespace ngs::bench

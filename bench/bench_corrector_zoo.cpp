@@ -1,0 +1,114 @@
+// Extension bench — the full corrector landscape the dissertation
+// surveys, side by side: SAP (Pevzner/Chaisson), HiTEC, SHREC, Reptile,
+// REDEEM, and the Sec. 3.5 hybrid, on a low-repeat dataset (Ch. 2
+// regime) and a high-repeat one (Ch. 3 regime).
+
+#include "bench_common.hpp"
+
+#include "baselines/hitec.hpp"
+#include "baselines/sap.hpp"
+#include "eval/correction_metrics.hpp"
+#include "kspec/kspectrum.hpp"
+#include "redeem/corrector.hpp"
+#include "redeem/em_model.hpp"
+#include "redeem/error_dist.hpp"
+#include "redeem/hybrid.hpp"
+#include "reptile/corrector.hpp"
+#include "shrec/shrec.hpp"
+
+using namespace ngs;
+
+namespace {
+
+void report(util::Table& table, const std::string& data,
+            const std::string& method, const sim::Dataset& d,
+            const std::vector<seq::Read>& corrected, double seconds) {
+  const auto m = eval::evaluate_correction(d.sim.reads, corrected);
+  table.add_row({data, method, util::Table::percent(m.sensitivity()),
+                 util::Table::percent(m.specificity()),
+                 util::Table::percent(m.gain()),
+                 util::Table::fixed(m.eba() * 100.0, 3),
+                 util::Table::fixed(seconds, 1)});
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::scale_or(0.2);
+  bench::print_header(
+      "Extension — corrector landscape (SAP / HiTEC / SHREC / Reptile / "
+      "REDEEM / Hybrid)",
+      "Low-repeat: Chapter 2 D2 analog. High-repeat: Chapter 3 D3 analog "
+      "(80% repeat span).");
+
+  util::Table table({"Data", "Method", "Sens", "Spec", "Gain", "EBA(%)",
+                     "CPU(s)"});
+
+  const auto low = sim::make_dataset(sim::chapter2_specs(scale)[1], 42);
+  const auto high = sim::make_dataset(sim::chapter3_specs(scale)[2], 7);
+
+  for (const auto* dp : {&low, &high}) {
+    const auto& d = *dp;
+    const std::string label = dp == &low ? "low-repeat" : "high-repeat";
+    const auto q = redeem::kmer_error_matrices(
+        redeem::ErrorDistKind::kTrueIllumina, 11, d.model);
+
+    {
+      baselines::SapParams p;
+      p.k = 11;
+      util::Timer t;
+      baselines::SapCorrector c(d.sim.reads, p);
+      baselines::SapStats stats;
+      report(table, label, "SAP", d, c.correct_all(d.sim.reads, stats),
+             t.seconds());
+    }
+    {
+      baselines::HitecParams p;
+      p.k = 11;
+      util::Timer t;
+      baselines::HitecCorrector c(d.sim.reads, p);
+      baselines::HitecStats stats;
+      report(table, label, "HiTEC", d, c.correct_all(d.sim.reads, stats),
+             t.seconds());
+    }
+    {
+      shrec::ShrecParams p;
+      p.genome_length = d.genome.sequence.size();
+      util::Timer t;
+      shrec::ShrecCorrector c(p);
+      shrec::ShrecStats stats;
+      report(table, label, "SHREC", d, c.correct_all(d.sim.reads, stats),
+             t.seconds());
+    }
+    {
+      util::Timer t;
+      const auto params =
+          reptile::select_parameters(d.sim.reads, d.genome.sequence.size());
+      reptile::ReptileCorrector c(d.sim.reads, params);
+      reptile::CorrectionStats stats;
+      report(table, label, "Reptile", d, c.correct_all(d.sim.reads, stats),
+             t.seconds());
+    }
+    {
+      util::Timer t;
+      const auto spectrum = kspec::KSpectrum::build(d.sim.reads, 11, false);
+      const redeem::RedeemModel model(spectrum, q, {});
+      redeem::RedeemCorrector c(model, {});
+      redeem::RedeemCorrectionStats stats;
+      report(table, label, "REDEEM", d, c.correct_all(d.sim.reads, stats),
+             t.seconds());
+    }
+    {
+      util::Timer t;
+      redeem::HybridParams p;
+      p.reptile =
+          reptile::select_parameters(d.sim.reads, d.genome.sequence.size());
+      redeem::HybridCorrector c(q, p);
+      redeem::HybridStats stats;
+      report(table, label, "Hybrid", d, c.correct_all(d.sim.reads, stats),
+             t.seconds());
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

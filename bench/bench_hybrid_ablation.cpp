@@ -1,0 +1,81 @@
+// Extension bench — the Sec. 3.5 combination: REDEEM then Reptile,
+// against each method alone, across the repeat ladder D1/D2/D3. The
+// hybrid should match Reptile on low-repeat data and REDEEM on
+// high-repeat data (the paper's "superior both when sampling low repeat
+// and highly-repetitive genomes").
+
+#include "bench_common.hpp"
+
+#include "eval/correction_metrics.hpp"
+#include "kspec/kspectrum.hpp"
+#include "redeem/corrector.hpp"
+#include "redeem/em_model.hpp"
+#include "redeem/error_dist.hpp"
+#include "redeem/hybrid.hpp"
+#include "reptile/corrector.hpp"
+
+using namespace ngs;
+
+int main() {
+  const double scale = bench::scale_or(0.5);
+  bench::print_header(
+      "Extension — hybrid (REDEEM -> Reptile) vs each method alone", "");
+
+  util::Table table({"Data", "Repeats", "Method", "Sensitivity",
+                     "Specificity", "Gain", "CPU(s)"});
+
+  auto specs = sim::chapter3_specs(scale);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto d = sim::make_dataset(specs[i], 7);
+    const std::string repeat_label =
+        util::Table::percent(d.genome.repeat_fraction, 0);
+    const auto q = redeem::kmer_error_matrices(
+        redeem::ErrorDistKind::kTrueIllumina, 11, d.model);
+
+    {
+      auto params =
+          reptile::select_parameters(d.sim.reads, d.genome.sequence.size());
+      util::Timer timer;
+      reptile::ReptileCorrector corrector(d.sim.reads, params);
+      reptile::CorrectionStats stats;
+      const auto out = corrector.correct_all(d.sim.reads, stats);
+      const auto m = eval::evaluate_correction(d.sim.reads, out);
+      table.add_row({specs[i].name, repeat_label, "Reptile",
+                     util::Table::percent(m.sensitivity()),
+                     util::Table::percent(m.specificity()),
+                     util::Table::percent(m.gain()),
+                     util::Table::fixed(timer.seconds(), 1)});
+    }
+    {
+      util::Timer timer;
+      const auto spectrum = kspec::KSpectrum::build(d.sim.reads, 11, false);
+      const redeem::RedeemModel model(spectrum, q, {});
+      redeem::RedeemCorrector corrector(model, {});
+      redeem::RedeemCorrectionStats stats;
+      const auto out = corrector.correct_all(d.sim.reads, stats);
+      const auto m = eval::evaluate_correction(d.sim.reads, out);
+      table.add_row({specs[i].name, repeat_label, "REDEEM",
+                     util::Table::percent(m.sensitivity()),
+                     util::Table::percent(m.specificity()),
+                     util::Table::percent(m.gain()),
+                     util::Table::fixed(timer.seconds(), 1)});
+    }
+    {
+      util::Timer timer;
+      redeem::HybridParams params;
+      params.reptile =
+          reptile::select_parameters(d.sim.reads, d.genome.sequence.size());
+      redeem::HybridCorrector hybrid(q, params);
+      redeem::HybridStats stats;
+      const auto out = hybrid.correct_all(d.sim.reads, stats);
+      const auto m = eval::evaluate_correction(d.sim.reads, out);
+      table.add_row({specs[i].name, repeat_label, "Hybrid",
+                     util::Table::percent(m.sensitivity()),
+                     util::Table::percent(m.specificity()),
+                     util::Table::percent(m.gain()),
+                     util::Table::fixed(timer.seconds(), 1)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

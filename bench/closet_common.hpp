@@ -1,0 +1,55 @@
+#pragma once
+// Shared machinery for the Chapter 4 benches: the three metagenome
+// samples (Table 4.1's Small/Medium/Large analogs) and a configured
+// CLOSET instance.
+
+#include <string>
+#include <vector>
+
+#include "closet/closet.hpp"
+#include "sim/metagenome.hpp"
+
+namespace ngs::bench {
+
+struct MetaDataset {
+  std::string name;
+  sim::Taxonomy taxonomy;
+  sim::MetagenomeSample sample;
+};
+
+inline MetaDataset make_meta_dataset(const std::string& name,
+                                     std::size_t num_reads,
+                                     std::uint64_t seed,
+                                     double conserved_fraction = 0.0,
+                                     double chimera_rate = 0.0) {
+  util::Rng rng(seed);
+  sim::TaxonomySpec tspec;
+  tspec.branching = {4, 5, 8};  // 4 phyla -> 20 genera -> 160 species
+  tspec.divergence = {0.12, 0.06, 0.02};
+  tspec.conserved_fraction = conserved_fraction;
+  MetaDataset d;
+  d.name = name;
+  d.taxonomy = sim::simulate_taxonomy(tspec, rng);
+  sim::MetagenomeReadConfig cfg;
+  cfg.num_reads = num_reads;
+  cfg.error_rate = 0.004;
+  cfg.chimera_rate = chimera_rate;
+  d.sample = sim::simulate_metagenome_reads(d.taxonomy, cfg, rng);
+  return d;
+}
+
+inline std::vector<MetaDataset> standard_meta_datasets(double scale) {
+  return {
+      make_meta_dataset("Small", static_cast<std::size_t>(2000 * scale), 21),
+      make_meta_dataset("Medium", static_cast<std::size_t>(5000 * scale), 22),
+      make_meta_dataset("Large", static_cast<std::size_t>(10000 * scale), 23),
+  };
+}
+
+inline closet::ClosetParams standard_closet_params() {
+  closet::ClosetParams params;
+  params.thresholds = {0.95, 0.92, 0.90};
+  return params;
+}
+
+}  // namespace ngs::bench

@@ -1,0 +1,63 @@
+#pragma once
+// Shared machinery for the Chapter 3 benches: build a dataset, run the
+// REDEEM EM under each error-distribution hypothesis, and sweep
+// detection thresholds on observed counts Y and estimated attempts T.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/kmer_classification.hpp"
+#include "kspec/kspectrum.hpp"
+#include "redeem/em_model.hpp"
+#include "redeem/error_dist.hpp"
+#include "sim/datasets.hpp"
+
+namespace ngs::bench {
+
+struct RedeemSweeps {
+  std::vector<eval::ThresholdPoint> observed;  // thresholding on Y
+  std::map<std::string, std::vector<eval::ThresholdPoint>> estimated;
+  std::vector<double> thresholds;
+};
+
+inline RedeemSweeps run_redeem_sweeps(const sim::Dataset& d, int k,
+                                      double max_threshold_factor = 1.6) {
+  const auto spectrum =
+      kspec::KSpectrum::build(d.sim.reads, k, /*both_strands=*/false);
+  const auto genome_spectrum =
+      kspec::KSpectrum::build_from_sequence(d.genome.sequence, k,
+                                            /*both_strands=*/true);
+  const auto truth = eval::genome_truth(spectrum, genome_spectrum);
+
+  // Coverage-scaled threshold grid.
+  const double kmer_coverage =
+      static_cast<double>(spectrum.total_instances()) /
+      std::max<double>(1.0, static_cast<double>(genome_spectrum.size()));
+  const auto thresholds =
+      eval::linear_thresholds(kmer_coverage * max_threshold_factor,
+                              std::max(0.25, kmer_coverage / 120.0));
+
+  RedeemSweeps out;
+  out.thresholds = thresholds;
+  {
+    std::vector<double> y(spectrum.size());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] = static_cast<double>(spectrum.count_at(i));
+    }
+    out.observed = eval::sweep_thresholds(y, truth, thresholds);
+  }
+  for (const auto kind :
+       {redeem::ErrorDistKind::kTrueIllumina,
+        redeem::ErrorDistKind::kWrongIllumina,
+        redeem::ErrorDistKind::kTrueUniform,
+        redeem::ErrorDistKind::kWrongUniform}) {
+    const auto q = redeem::kmer_error_matrices(kind, k, d.model);
+    const redeem::RedeemModel model(spectrum, q, {});
+    out.estimated[redeem::to_string(kind)] =
+        eval::sweep_thresholds(model.estimates(), truth, thresholds);
+  }
+  return out;
+}
+
+}  // namespace ngs::bench

@@ -1,0 +1,172 @@
+#include "assembly/debruijn.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "seq/alphabet.hpp"
+#include "seq/kmer.hpp"
+
+namespace ngs::assembly {
+namespace {
+
+/// Prefix (k-1)-mer of a k-mer edge.
+seq::KmerCode edge_prefix(seq::KmerCode kmer) { return kmer >> 2; }
+
+/// Suffix (k-1)-mer of a k-mer edge.
+seq::KmerCode edge_suffix(seq::KmerCode kmer, int k) {
+  return kmer & ((seq::KmerCode{1} << (2 * (k - 1))) - 1);
+}
+
+}  // namespace
+
+DeBruijnGraph DeBruijnGraph::build(const seq::ReadSet& reads,
+                                   const DeBruijnParams& params) {
+  DeBruijnGraph g;
+  g.params_ = params;
+  const auto full =
+      kspec::KSpectrum::build(reads, params.k, /*both_strands=*/true);
+  std::vector<seq::KmerCode> solid;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (full.count_at(i) >= params.min_kmer_count) {
+      // from_codes re-counts; replicate multiplicity 1 (edges are a set).
+      solid.push_back(full.code_at(i));
+    }
+  }
+  g.solid_ = kspec::KSpectrum::from_codes(std::move(solid), params.k);
+  return g;
+}
+
+int DeBruijnGraph::out_degree(seq::KmerCode node) const {
+  int degree = 0;
+  for (std::uint8_t b = 0; b < 4; ++b) {
+    if (solid_.contains((node << 2) | b)) ++degree;
+  }
+  return degree;
+}
+
+int DeBruijnGraph::in_degree(seq::KmerCode node) const {
+  const int k = params_.k;
+  int degree = 0;
+  for (std::uint8_t b = 0; b < 4; ++b) {
+    const seq::KmerCode edge =
+        (static_cast<seq::KmerCode>(b) << (2 * (k - 1))) | node;
+    if (solid_.contains(edge)) ++degree;
+  }
+  return degree;
+}
+
+std::vector<std::string> DeBruijnGraph::unitigs() const {
+  const int k = params_.k;
+  const std::size_t m = solid_.size();
+  std::vector<bool> visited(m, false);
+
+  auto is_branch_node = [&](seq::KmerCode node) {
+    return out_degree(node) != 1 || in_degree(node) != 1;
+  };
+
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+
+  auto walk_from = [&](std::size_t edge_idx) {
+    // Extend the edge chain rightward while nodes are non-branching.
+    std::string contig = seq::decode_kmer(solid_.code_at(edge_idx), k);
+    visited[edge_idx] = true;
+    seq::KmerCode node = edge_suffix(solid_.code_at(edge_idx), k);
+    while (!is_branch_node(node)) {
+      // Unique outgoing edge.
+      seq::KmerCode next_edge = 0;
+      bool found = false;
+      for (std::uint8_t b = 0; b < 4 && !found; ++b) {
+        const seq::KmerCode cand = (node << 2) | b;
+        if (solid_.contains(cand)) {
+          next_edge = cand;
+          found = true;
+        }
+      }
+      if (!found) break;
+      const auto idx = static_cast<std::size_t>(solid_.index_of(next_edge));
+      if (visited[idx]) break;  // cycle closure
+      visited[idx] = true;
+      contig.push_back(
+          seq::code_to_base(static_cast<std::uint8_t>(next_edge & 3u)));
+      node = edge_suffix(next_edge, k);
+    }
+    // Deduplicate across strands by canonical form.
+    const std::string rc = seq::reverse_complement(contig);
+    const std::string& canon = contig <= rc ? contig : rc;
+    if (seen.insert(canon).second) out.push_back(canon);
+  };
+
+  // Pass 1: start walks at edges leaving branch nodes (unitig starts).
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!visited[i] && is_branch_node(edge_prefix(solid_.code_at(i)))) {
+      walk_from(i);
+    }
+  }
+  // Pass 2: leftover edges belong to simple cycles; walk from anywhere.
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!visited[i]) walk_from(i);
+  }
+  return out;
+}
+
+AssemblyStats assembly_stats(const std::vector<std::string>& contigs,
+                             std::size_t min_length) {
+  AssemblyStats stats;
+  std::vector<std::uint64_t> lengths;
+  for (const auto& c : contigs) {
+    if (c.size() < min_length) continue;
+    lengths.push_back(c.size());
+  }
+  stats.num_contigs = lengths.size();
+  for (const auto len : lengths) {
+    stats.total_length += len;
+    stats.max_length = std::max(stats.max_length, len);
+  }
+  std::sort(lengths.rbegin(), lengths.rend());
+  std::uint64_t running = 0;
+  for (const auto len : lengths) {
+    running += len;
+    if (running * 2 >= stats.total_length) {
+      stats.n50 = len;
+      break;
+    }
+  }
+  return stats;
+}
+
+AssemblyEval evaluate_contigs(const std::vector<std::string>& contigs,
+                              std::string_view genome, int k) {
+  const auto genome_spec =
+      kspec::KSpectrum::build_from_sequence(genome, k, /*both_strands=*/true);
+  std::unordered_set<seq::KmerCode> covered;
+  AssemblyEval eval;
+  std::uint64_t contig_kmers = 0, good = 0;
+  std::vector<seq::KmerCode> codes;
+  for (const auto& c : contigs) {
+    codes.clear();
+    seq::extract_kmer_codes(c, k, codes);
+    for (const seq::KmerCode code : codes) {
+      ++contig_kmers;
+      if (genome_spec.contains(code)) {
+        ++good;
+        covered.insert(code);
+        covered.insert(seq::reverse_complement(code, k));
+      } else {
+        ++eval.spurious_contig_kmers;
+      }
+    }
+  }
+  eval.contig_kmer_accuracy =
+      contig_kmers == 0
+          ? 0.0
+          : static_cast<double>(good) / static_cast<double>(contig_kmers);
+  eval.genome_kmers_covered =
+      genome_spec.size() == 0
+          ? 0.0
+          : static_cast<double>(covered.size()) /
+                static_cast<double>(genome_spec.size());
+  return eval;
+}
+
+}  // namespace ngs::assembly

@@ -1,0 +1,74 @@
+#pragma once
+// De Bruijn graph substrate (Chapter 1): the paper motivates error
+// correction as a pre-assembly step — spurious kmers inflate the graph
+// and cause mis-assemblies — and lists "improvement of assembly post-
+// correction" among the validation measures used by prior work. This
+// module provides that validation instrument: a kmer de Bruijn graph
+// with solid-kmer filtering, maximal non-branching path (unitig)
+// extraction, and reference-based assembly metrics.
+//
+// Graph model: nodes are (k-1)-mers, every solid kmer is a directed edge
+// prefix -> suffix. Both strands of the reads contribute, so each unitig
+// appears in both orientations and is deduplicated canonically.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kspec/kspectrum.hpp"
+#include "seq/read.hpp"
+
+namespace ngs::assembly {
+
+struct DeBruijnParams {
+  int k = 21;
+  /// Kmers observed fewer times are dropped ("weak" in SAP terms).
+  std::uint32_t min_kmer_count = 2;
+};
+
+class DeBruijnGraph {
+ public:
+  static DeBruijnGraph build(const seq::ReadSet& reads,
+                             const DeBruijnParams& params);
+
+  int k() const noexcept { return params_.k; }
+  std::size_t num_edges() const noexcept { return solid_.size(); }
+
+  /// Maximal non-branching paths, deduplicated across strands
+  /// (canonical form). Each unitig is at least k bases.
+  std::vector<std::string> unitigs() const;
+
+  /// Out-neighbors (extension bases) of a (k-1)-mer node.
+  int out_degree(seq::KmerCode node) const;
+  int in_degree(seq::KmerCode node) const;
+
+ private:
+  DeBruijnParams params_;
+  kspec::KSpectrum solid_;  // solid kmers = edges (k-spectrum order)
+};
+
+/// Contig-length statistics (N50 computed over contigs >= min_length).
+struct AssemblyStats {
+  std::size_t num_contigs = 0;
+  std::uint64_t total_length = 0;
+  std::uint64_t n50 = 0;
+  std::uint64_t max_length = 0;
+};
+
+AssemblyStats assembly_stats(const std::vector<std::string>& contigs,
+                             std::size_t min_length = 0);
+
+/// Reference-based evaluation: fraction of distinct genome kmers
+/// recovered by the contigs, and fraction of contig kmers that belong to
+/// the genome (1 - spurious rate).
+struct AssemblyEval {
+  double genome_kmers_covered = 0.0;
+  double contig_kmer_accuracy = 0.0;
+  std::uint64_t spurious_contig_kmers = 0;
+};
+
+AssemblyEval evaluate_contigs(const std::vector<std::string>& contigs,
+                              std::string_view genome, int k);
+
+}  // namespace ngs::assembly

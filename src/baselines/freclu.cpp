@@ -1,0 +1,81 @@
+#include "baselines/freclu.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "seq/alphabet.hpp"
+
+namespace ngs::baselines {
+
+std::vector<seq::Read> FrecluCorrector::correct_all(const seq::ReadSet& reads,
+                                                    FrecluStats& stats) const {
+  // Collapse to distinct sequences with counts.
+  std::unordered_map<std::string, std::uint32_t> index;
+  std::vector<std::string> sequences;
+  std::vector<std::uint64_t> counts;
+  for (const auto& r : reads.reads) {
+    const auto [it, inserted] = index.emplace(
+        r.bases, static_cast<std::uint32_t>(sequences.size()));
+    if (inserted) {
+      sequences.push_back(r.bases);
+      counts.push_back(0);
+    }
+    ++counts[it->second];
+  }
+  stats.distinct_sequences = sequences.size();
+
+  // Parent of each distinct sequence: the most frequent 1-mutant whose
+  // count dominates by the required ratio.
+  std::vector<std::int64_t> parent(sequences.size(), -1);
+  for (std::uint32_t s = 0; s < sequences.size(); ++s) {
+    std::string candidate = sequences[s];
+    std::uint64_t best_count = 0;
+    std::int64_t best_parent = -1;
+    for (std::size_t pos = 0; pos < candidate.size(); ++pos) {
+      const char original = candidate[pos];
+      if (!seq::is_acgt(original)) continue;
+      for (const char b : {'A', 'C', 'G', 'T'}) {
+        if (b == original) continue;
+        candidate[pos] = b;
+        const auto it = index.find(candidate);
+        if (it != index.end() && counts[it->second] > best_count &&
+            static_cast<double>(counts[it->second]) >=
+                params_.min_parent_ratio * static_cast<double>(counts[s])) {
+          best_count = counts[it->second];
+          best_parent = it->second;
+        }
+      }
+      candidate[pos] = original;
+    }
+    parent[s] = best_parent;
+  }
+
+  // Resolve roots (bounded depth; frequencies strictly increase along
+  // parent edges, so cycles are impossible anyway).
+  std::vector<std::uint32_t> root(sequences.size());
+  std::uint64_t num_roots = 0;
+  for (std::uint32_t s = 0; s < sequences.size(); ++s) {
+    std::uint32_t r = s;
+    for (int d = 0; d < params_.max_depth && parent[r] >= 0; ++d) {
+      r = static_cast<std::uint32_t>(parent[r]);
+    }
+    root[s] = r;
+    num_roots += (parent[s] < 0);
+  }
+  stats.trees = num_roots;
+
+  // Rewrite reads to their root sequence.
+  std::vector<seq::Read> out = reads.reads;
+  for (auto& r : out) {
+    const auto it = index.find(r.bases);
+    if (it == index.end()) continue;
+    const std::uint32_t target = root[it->second];
+    if (sequences[target] != r.bases) {
+      r.bases = sequences[target];
+      ++stats.reads_corrected;
+    }
+  }
+  return out;
+}
+
+}  // namespace ngs::baselines

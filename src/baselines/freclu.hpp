@@ -1,0 +1,47 @@
+#pragma once
+// FreClu baseline (Qu et al. 2009, described in Sec. 1.2): designed for
+// transcriptome-style data where full-length reads replicate heavily.
+// Reads are grouped into a hierarchy in which a child sequence (1) differs
+// from its parent by exactly one base, and (2) is sufficiently less
+// frequent than the parent for a sequencing error to be the likely
+// explanation. Every read is corrected to the root of its tree.
+//
+// Chapter 3 positions REDEEM as the kmer-level generalization of this
+// idea (full-read replication is absent in genomic data); this baseline
+// makes the comparison concrete.
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/read.hpp"
+
+namespace ngs::baselines {
+
+struct FrecluParams {
+  /// A parent must be at least this many times more frequent.
+  double min_parent_ratio = 2.0;
+  /// Maximum hierarchy depth followed when resolving roots.
+  int max_depth = 4;
+};
+
+struct FrecluStats {
+  std::uint64_t distinct_sequences = 0;
+  std::uint64_t trees = 0;           // root sequences
+  std::uint64_t reads_corrected = 0; // reads rewritten to their root
+};
+
+class FrecluCorrector {
+ public:
+  explicit FrecluCorrector(FrecluParams params) : params_(params) {}
+
+  /// Corrects the read set; reads whose sequence has no eligible parent
+  /// stay untouched. Only substitution (same-length) relations are
+  /// considered, as in the original.
+  std::vector<seq::Read> correct_all(const seq::ReadSet& reads,
+                                     FrecluStats& stats) const;
+
+ private:
+  FrecluParams params_;
+};
+
+}  // namespace ngs::baselines

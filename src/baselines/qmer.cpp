@@ -1,0 +1,66 @@
+#include "baselines/qmer.hpp"
+
+#include <cmath>
+
+#include "seq/alphabet.hpp"
+#include "seq/kmer.hpp"
+
+namespace ngs::baselines {
+namespace {
+
+double phred_correct_prob(std::uint8_t q) {
+  return 1.0 - std::pow(10.0, -static_cast<double>(q) / 10.0);
+}
+
+}  // namespace
+
+QmerCounter::QmerCounter(const seq::ReadSet& reads, int k,
+                         bool both_strands)
+    : spectrum_(kspec::KSpectrum::build(reads, k, both_strands)) {
+  weights_.assign(spectrum_.size(), 0.0);
+  std::vector<std::pair<seq::KmerCode, std::uint32_t>> kmers;
+  for (const auto& r : reads.reads) {
+    kmers.clear();
+    seq::extract_kmers(r.bases, k, kmers);
+    const bool has_quality = r.quality.size() == r.bases.size();
+    for (const auto& [code, start] : kmers) {
+      double w = 1.0;
+      if (has_quality) {
+        for (int i = 0; i < k; ++i) {
+          w *= phred_correct_prob(
+              r.quality[start + static_cast<std::uint32_t>(i)]);
+        }
+      }
+      const auto idx = spectrum_.index_of(code);
+      if (idx >= 0) weights_[static_cast<std::size_t>(idx)] += w;
+    }
+    if (both_strands) {
+      // Reverse-complement instances carry the reversed quality window.
+      const std::string rc = seq::reverse_complement(r.bases);
+      kmers.clear();
+      seq::extract_kmers(rc, k, kmers);
+      const std::size_t L = r.bases.size();
+      for (const auto& [code, start] : kmers) {
+        double w = 1.0;
+        if (has_quality) {
+          for (int i = 0; i < k; ++i) {
+            w *= phred_correct_prob(
+                r.quality[L - 1 - (start + static_cast<std::uint32_t>(i))]);
+          }
+        }
+        const auto idx = spectrum_.index_of(code);
+        if (idx >= 0) weights_[static_cast<std::size_t>(idx)] += w;
+      }
+    }
+  }
+}
+
+std::vector<double> QmerCounter::counts() const {
+  std::vector<double> y(spectrum_.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = static_cast<double>(spectrum_.count_at(i));
+  }
+  return y;
+}
+
+}  // namespace ngs::baselines

@@ -1,0 +1,37 @@
+#pragma once
+// Quake-style q-mer counting (Kelley et al. 2010, described in Sec. 1.2):
+// every kmer instance contributes the product of its bases' correctness
+// probabilities (from quality scores) instead of a unit count, so
+// low-confidence instances barely inflate a kmer's support. The
+// resulting weights are thresholded to classify kmers as trusted or
+// untrusted — Chapter 1 notes the paper leaves the cutoff choice
+// unclear; here the Sec. 3.7 mixture machinery can supply it.
+
+#include <cstdint>
+#include <vector>
+
+#include "kspec/kspectrum.hpp"
+#include "seq/read.hpp"
+
+namespace ngs::baselines {
+
+class QmerCounter {
+ public:
+  /// Builds the k-spectrum and accumulates quality weights per kmer.
+  /// Reads without quality scores contribute unit weights.
+  QmerCounter(const seq::ReadSet& reads, int k, bool both_strands = false);
+
+  const kspec::KSpectrum& spectrum() const noexcept { return spectrum_; }
+
+  /// Quality weight per spectrum kmer (parallel to spectrum order).
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+  /// Raw observed counts as doubles (for baseline comparison).
+  std::vector<double> counts() const;
+
+ private:
+  kspec::KSpectrum spectrum_;
+  std::vector<double> weights_;
+};
+
+}  // namespace ngs::baselines

@@ -1,0 +1,113 @@
+#include "baselines/sap.hpp"
+
+#include <algorithm>
+
+#include "seq/alphabet.hpp"
+#include "seq/kmer.hpp"
+#include "util/thread_pool.hpp"
+
+#include <mutex>
+
+namespace ngs::baselines {
+
+SapCorrector::SapCorrector(const seq::ReadSet& reads, SapParams params)
+    : params_(params),
+      spectrum_(kspec::KSpectrum::build(reads, params.k,
+                                        params.both_strands)) {}
+
+int SapCorrector::weak_kmers(std::string_view bases) const {
+  std::vector<seq::KmerCode> codes;
+  seq::extract_kmer_codes(bases, params_.k, codes);
+  int weak = 0;
+  for (const auto code : codes) {
+    weak += spectrum_.count(code) < params_.solid_threshold;
+  }
+  // Windows lost to ambiguous bases count as weak.
+  if (bases.size() >= static_cast<std::size_t>(params_.k)) {
+    const auto windows = bases.size() - static_cast<std::size_t>(params_.k) + 1;
+    weak += static_cast<int>(windows - codes.size());
+  }
+  return weak;
+}
+
+seq::Read SapCorrector::correct(const seq::Read& read, SapStats& stats) const {
+  seq::Read out = read;
+  int weak = weak_kmers(out.bases);
+  if (weak == 0) {
+    ++stats.reads_clean;
+    return out;
+  }
+
+  // Greedy: at each round, apply the single base change that removes the
+  // most weak kmers; stop when clean or no change improves. Only the
+  // kmers covering the mutated position can change solidity, so the
+  // evaluation is local.
+  const auto weak_covering = [&](const std::string& bases, std::size_t pos) {
+    const auto k = static_cast<std::size_t>(params_.k);
+    if (bases.size() < k) return 0;
+    const std::size_t lo = pos >= k - 1 ? pos - (k - 1) : 0;
+    const std::size_t hi = std::min(pos, bases.size() - k);
+    int weak_count = 0;
+    for (std::size_t s = lo; s <= hi; ++s) {
+      const auto code =
+          seq::encode_kmer(std::string_view(bases).substr(s, k));
+      if (!code || spectrum_.count(*code) < params_.solid_threshold) {
+        ++weak_count;
+      }
+    }
+    return weak_count;
+  };
+
+  for (int edit = 0; edit < params_.max_edits && weak > 0; ++edit) {
+    int best_delta = 0;
+    std::size_t best_pos = 0;
+    char best_base = 0;
+    for (std::size_t pos = 0; pos < out.bases.size(); ++pos) {
+      const char original = out.bases[pos];
+      const int before = weak_covering(out.bases, pos);
+      if (before == 0) continue;
+      for (const char b : {'A', 'C', 'G', 'T'}) {
+        if (b == original) continue;
+        out.bases[pos] = b;
+        const int delta = before - weak_covering(out.bases, pos);
+        if (delta > best_delta) {
+          best_delta = delta;
+          best_pos = pos;
+          best_base = b;
+        }
+      }
+      out.bases[pos] = original;
+    }
+    if (best_base == 0) break;  // no improving change
+    out.bases[best_pos] = best_base;
+    ++stats.bases_changed;
+    weak -= best_delta;
+  }
+  if (weak == 0) {
+    ++stats.reads_fixed;
+  } else {
+    ++stats.reads_unfixable;
+  }
+  return out;
+}
+
+std::vector<seq::Read> SapCorrector::correct_all(const seq::ReadSet& reads,
+                                                 SapStats& stats) const {
+  std::vector<seq::Read> out(reads.reads.size());
+  std::mutex stats_mutex;
+  util::default_pool().parallel_for_blocked(
+      0, reads.reads.size(), [&](std::size_t lo, std::size_t hi) {
+        SapStats local;
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = correct(reads.reads[i], local);
+        }
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        stats.reads_clean += local.reads_clean;
+        stats.reads_fixed += local.reads_fixed;
+        stats.reads_unfixable += local.reads_unfixable;
+        stats.bases_changed += local.bases_changed;
+      });
+  return out;
+}
+
+}  // namespace ngs::baselines

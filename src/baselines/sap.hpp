@@ -1,0 +1,58 @@
+#pragma once
+// SAP baseline — the Spectrum Alignment Problem corrector of
+// Pevzner/Tang and Chaisson et al. (Secs. 1.2, 2.2): a kmer is *solid*
+// if it occurs more than M times in the reads, *weak* otherwise; a read
+// is converted, with a bounded number of substitutions, so that all of
+// its kmers are solid.
+//
+// This implements the Hamming-distance adaptation of Chaisson et al.
+// 2009 that Chapter 1 describes: "in each read, if a base change can
+// increase the solid kmers to a prescribed amount, then it is applied",
+// greedily, with reads classified fixable/unfixable. It is the
+// k-spectrum ancestor Reptile is measured against.
+
+#include <cstdint>
+#include <vector>
+
+#include "kspec/kspectrum.hpp"
+#include "seq/read.hpp"
+
+namespace ngs::baselines {
+
+struct SapParams {
+  int k = 12;
+  /// Solidity threshold M: kmers with count >= M are solid.
+  std::uint32_t solid_threshold = 3;
+  /// Max substitutions applied per read before giving up (unfixable).
+  int max_edits = 3;
+  /// Build the spectrum from both strands.
+  bool both_strands = true;
+};
+
+struct SapStats {
+  std::uint64_t reads_clean = 0;      // already all-solid
+  std::uint64_t reads_fixed = 0;      // converted to all-solid
+  std::uint64_t reads_unfixable = 0;  // left as-is after max_edits
+  std::uint64_t bases_changed = 0;
+};
+
+class SapCorrector {
+ public:
+  SapCorrector(const seq::ReadSet& reads, SapParams params);
+
+  const SapParams& params() const noexcept { return params_; }
+  const kspec::KSpectrum& spectrum() const noexcept { return spectrum_; }
+
+  /// Number of weak kmers in a read (0 = clean).
+  int weak_kmers(std::string_view bases) const;
+
+  seq::Read correct(const seq::Read& read, SapStats& stats) const;
+  std::vector<seq::Read> correct_all(const seq::ReadSet& reads,
+                                     SapStats& stats) const;
+
+ private:
+  SapParams params_;
+  kspec::KSpectrum spectrum_;
+};
+
+}  // namespace ngs::baselines

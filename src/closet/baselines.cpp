@@ -1,0 +1,81 @@
+#include "closet/baselines.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "closet/similarity.hpp"
+
+namespace ngs::closet {
+namespace {
+
+/// Union-find with path halving.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> single_linkage_labels(
+    const std::vector<Edge>& edges, double threshold,
+    std::size_t num_reads) {
+  DisjointSets sets(num_reads);
+  for (const Edge& e : edges) {
+    if (e.score >= threshold) sets.unite(e.a, e.b);
+  }
+  std::vector<std::uint32_t> labels(num_reads);
+  for (std::uint32_t i = 0; i < num_reads; ++i) labels[i] = sets.find(i);
+  return labels;
+}
+
+std::vector<std::uint32_t> cdhit_labels(const seq::ReadSet& reads,
+                                        const CdHitParams& params) {
+  const std::size_t n = reads.size();
+  // Precompute hash sets once; sort read indices by decreasing length.
+  std::vector<std::vector<std::uint64_t>> hashes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hashes[i] = kmer_hashes(reads.reads[i].bases, params.k);
+  }
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return reads.reads[a].bases.size() >
+                            reads.reads[b].bases.size();
+                   });
+
+  std::vector<std::uint32_t> labels(n, 0);
+  std::vector<bool> assigned(n, false);
+  for (const std::uint32_t rep : order) {
+    if (assigned[rep]) continue;
+    assigned[rep] = true;
+    labels[rep] = rep;
+    for (const std::uint32_t other : order) {
+      if (assigned[other]) continue;
+      if (set_similarity(hashes[rep], hashes[other]) >= params.threshold) {
+        assigned[other] = true;
+        labels[other] = rep;
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace ngs::closet

@@ -1,0 +1,46 @@
+#pragma once
+// Clustering baselines that Chapter 4 positions CLOSET against:
+//
+//  * Single-linkage clustering (used by earlier metagenomic tools, e.g.
+//    the clustering in NAST/CD-HIT-style pipelines): connected
+//    components of the similarity graph. The paper's critique: one
+//    spurious cross-taxon edge merges whole taxonomic units, and the
+//    mistake percolates up the rank hierarchy.
+//
+//  * CD-HIT-style greedy star clustering (Li & Godzik 2006): sort reads
+//    by decreasing length; repeatedly take the longest unassigned read
+//    as a cluster representative and absorb every unassigned read whose
+//    similarity to the representative passes the threshold. The paper's
+//    critique: biased toward long representatives.
+//
+// Both consume the same validated edge list (single linkage) or the same
+// similarity function (CD-HIT) as CLOSET, so bench comparisons isolate
+// the clustering strategy.
+
+#include <cstdint>
+#include <vector>
+
+#include "closet/closet.hpp"
+#include "seq/read.hpp"
+
+namespace ngs::closet {
+
+/// Connected components of edges with score >= threshold. Returns one
+/// label per read (components keep distinct labels; isolated reads get
+/// singleton labels).
+std::vector<std::uint32_t> single_linkage_labels(
+    const std::vector<Edge>& edges, double threshold,
+    std::size_t num_reads);
+
+struct CdHitParams {
+  int k = 15;
+  double threshold = 0.9;
+};
+
+/// Greedy star clustering over the kmer-set similarity. Returns one
+/// label per read. O(clusters x reads) similarity evaluations, as in
+/// CD-HIT's worst case.
+std::vector<std::uint32_t> cdhit_labels(const seq::ReadSet& reads,
+                                        const CdHitParams& params);
+
+}  // namespace ngs::closet

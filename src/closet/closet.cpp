@@ -1,0 +1,395 @@
+#include "closet/closet.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "closet/similarity.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ngs::closet {
+namespace {
+
+using mapreduce::Emitter;
+using mapreduce::Job;
+
+/// Union of two sorted vectors.
+template <typename T>
+std::vector<T> sorted_union(const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::uint64_t vertex_set_hash(const std::vector<std::uint32_t>& verts) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint32_t v : verts) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Closet::Closet(ClosetParams params) : params_(std::move(params)) {}
+
+ClosetResult Closet::run(const seq::ReadSet& reads) const {
+  ClosetResult result;
+  const std::size_t n = reads.size();
+
+  // ---- Kmer hash sets (shared by sketching and validation).
+  std::vector<std::vector<std::uint64_t>> hashes(n);
+  {
+    util::ScopedStageTimer timer(result.times, "sketching");
+    util::default_pool().parallel_for(0, n, [&](std::size_t i) {
+      hashes[i] = kmer_hashes(reads.reads[i].bases, params_.k);
+    });
+  }
+
+  // ---- Phase I, Tasks 1-2 per round: candidate pair generation.
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> all_candidates;
+  {
+    util::ScopedStageTimer timer(result.times, "sketching");
+    for (int round = 0; round < params_.sketch_rounds; ++round) {
+      // Round sketches.
+      std::vector<std::vector<std::uint64_t>> sketches(n);
+      util::default_pool().parallel_for(0, n, [&](std::size_t i) {
+        sketches[i] = sketch_of(hashes[i], params_.sketch_mod,
+                                static_cast<std::uint64_t>(round));
+      });
+
+      // Task 1: group read ids by shared sketch hash.
+      std::vector<std::pair<std::uint32_t, std::uint8_t>> input;
+      input.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) input.emplace_back(i, 0);
+      const auto cmax = params_.cmax;
+      auto groups =
+          Job<std::uint32_t, std::uint8_t, std::uint64_t, std::uint32_t,
+              std::uint64_t, std::vector<std::uint32_t>>::
+              run(
+                  input,
+                  [&](const std::uint32_t& rid, const std::uint8_t&,
+                      Emitter<std::uint64_t, std::uint32_t>& out) {
+                    for (const std::uint64_t h : sketches[rid]) {
+                      out.emit(h, rid);
+                    }
+                  },
+                  [&](const std::uint64_t& h,
+                      std::span<const std::uint32_t> rids,
+                      Emitter<std::uint64_t, std::vector<std::uint32_t>>&
+                          out) {
+                    if (rids.size() > 1 && rids.size() <= cmax) {
+                      out.emit(h, std::vector<std::uint32_t>(rids.begin(),
+                                                             rids.end()));
+                    }
+                    // Larger groups are deferred (high-frequency kmers do
+                    // not differentiate organisms); their contribution to
+                    // the similarity count is restored by the full-set
+                    // validation of Task 5.
+                  },
+                  params_.job, &result.counters);
+
+      // Task 2: pair generation + sketch-similarity screening.
+      const double cmin = params_.cmin;
+      mapreduce::JobCounters task2;
+      auto candidates =
+          Job<std::uint64_t, std::vector<std::uint32_t>, std::uint64_t,
+              std::uint8_t, std::uint64_t, std::uint8_t>::
+              run(
+                  groups,
+                  [&](const std::uint64_t&,
+                      const std::vector<std::uint32_t>& rids,
+                      Emitter<std::uint64_t, std::uint8_t>& out) {
+                    for (std::size_t x = 0; x < rids.size(); ++x) {
+                      for (std::size_t y = x + 1; y < rids.size(); ++y) {
+                        if (rids[x] != rids[y]) {
+                          out.emit(pair_key(rids[x], rids[y]), 1);
+                        }
+                      }
+                    }
+                  },
+                  [&](const std::uint64_t& key, std::span<const std::uint8_t>,
+                      Emitter<std::uint64_t, std::uint8_t>& out) {
+                    const auto a = static_cast<std::uint32_t>(key >> 32);
+                    const auto b = static_cast<std::uint32_t>(key);
+                    const double j = set_similarity(sketches[a], sketches[b]);
+                    if (j >= cmin) out.emit(key, 1);
+                  },
+                  params_.job, &task2);
+      result.predicted_pair_records += task2.map_output_records;
+      result.counters.merge(task2);
+      for (const auto& kv : candidates) all_candidates.push_back(kv);
+    }
+  }
+
+  // ---- Task 3: deduplicate candidates across rounds.
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> unique_pairs;
+  {
+    util::ScopedStageTimer timer(result.times, "sketching");
+    unique_pairs =
+        Job<std::uint64_t, std::uint8_t, std::uint64_t, std::uint8_t,
+            std::uint64_t, std::uint8_t>::
+            run(
+                all_candidates,
+                [](const std::uint64_t& key, const std::uint8_t&,
+                   Emitter<std::uint64_t, std::uint8_t>& out) {
+                  out.emit(key, 1);
+                },
+                [](const std::uint64_t& key, std::span<const std::uint8_t>,
+                   Emitter<std::uint64_t, std::uint8_t>& out) {
+                  out.emit(key, 1);
+                },
+                params_.job, &result.counters);
+    result.unique_candidate_pairs = unique_pairs.size();
+  }
+
+  // ---- Tasks 4-5: edge validation with the full similarity function.
+  {
+    util::ScopedStageTimer timer(result.times, "validation");
+    const double cmin = params_.cmin;
+    const bool use_alignment = params_.validate_with_alignment;
+    auto validated =
+        Job<std::uint64_t, std::uint8_t, std::uint64_t, double,
+            std::uint64_t, double>::
+            run(
+                unique_pairs,
+                [&](const std::uint64_t& key, const std::uint8_t&,
+                    Emitter<std::uint64_t, double>& out) {
+                  const auto a = static_cast<std::uint32_t>(key >> 32);
+                  const auto b = static_cast<std::uint32_t>(key);
+                  const double f =
+                      use_alignment
+                          ? banded_alignment_identity(reads.reads[a].bases,
+                                                      reads.reads[b].bases)
+                          : set_similarity(hashes[a], hashes[b]);
+                  if (f >= cmin) out.emit(key, f);
+                },
+                [](const std::uint64_t& key, std::span<const double> vals,
+                   Emitter<std::uint64_t, double>& out) {
+                  out.emit(key, vals.front());
+                },
+                params_.job, &result.counters);
+    result.edges.reserve(validated.size());
+    for (const auto& [key, score] : validated) {
+      result.edges.push_back(Edge{static_cast<std::uint32_t>(key >> 32),
+                                  static_cast<std::uint32_t>(key), score});
+    }
+    result.confirmed_edges = result.edges.size();
+  }
+
+  // ---- Phase II: incremental quasi-clique enumeration over decreasing
+  // thresholds. Clusters persist across levels; each level introduces
+  // the edges newly admitted by its threshold. Density is evaluated on
+  // the subgraph induced by the cluster's vertices in the level's edge
+  // set (the gamma-quasi-clique definition of Sec. 4.2).
+  std::vector<double> thresholds = params_.thresholds;
+  std::sort(thresholds.rbegin(), thresholds.rend());
+
+  std::vector<std::vector<std::uint32_t>> adj(n);  // active-edge adjacency
+  // Count edges of the active graph induced by a sorted vertex set.
+  const auto induced_edges = [&adj](const std::vector<std::uint32_t>& verts) {
+    std::uint64_t count = 0;
+    for (const std::uint32_t u : verts) {
+      for (const std::uint32_t v : adj[u]) {
+        if (v > u && std::binary_search(verts.begin(), verts.end(), v)) {
+          ++count;
+        }
+      }
+    }
+    return count;
+  };
+
+  std::vector<Cluster> clusters;
+  std::vector<bool> alive;
+  double prev_threshold = 2.0;  // nothing admitted yet
+
+  for (const double t : thresholds) {
+    LevelResult level;
+    level.threshold = t;
+
+    // Task 6: edge filtering (new edges only — incremental).
+    {
+      util::ScopedStageTimer timer(result.times, "filtering");
+      for (const Edge& e : result.edges) {
+        if (e.score >= t) ++level.edges_active;
+        if (e.score >= t && e.score < prev_threshold) {
+          Cluster c;
+          c.verts = {std::min(e.a, e.b), std::max(e.a, e.b)};
+          c.edge_count = 1;
+          clusters.push_back(std::move(c));
+          alive.push_back(true);
+          ++level.clusters_processed;
+          adj[e.a].push_back(e.b);
+          adj[e.b].push_back(e.a);
+        }
+      }
+      prev_threshold = t;
+    }
+
+    // Tasks 7-8: iterate merge proposals to a fixed point.
+    {
+      util::ScopedStageTimer timer(result.times, "clustering");
+      const double gamma = params_.gamma;
+      const auto mergeable = [&](std::uint32_t ci, std::uint32_t cj,
+                                 Cluster* out) {
+        auto verts = sorted_union(clusters[ci].verts, clusters[cj].verts);
+        const double nn = static_cast<double>(verts.size());
+        const std::uint64_t edges = induced_edges(verts);
+        if (static_cast<double>(edges) < gamma * nn * (nn - 1.0) / 2.0) {
+          return false;
+        }
+        if (out != nullptr) {
+          out->verts = std::move(verts);
+          out->edge_count = edges;
+        }
+        return true;
+      };
+
+      for (int iter = 0; iter < params_.max_merge_iterations; ++iter) {
+        // Task 7 (map): cluster -> (vertex, cluster id); reducers group
+        // clusters by shared vertex and propose density-preserving merges.
+        std::vector<std::pair<std::uint32_t, std::uint8_t>> cluster_input;
+        for (std::uint32_t c = 0; c < clusters.size(); ++c) {
+          if (alive[c]) cluster_input.emplace_back(c, 0);
+        }
+        level.clusters_processed += cluster_input.size();
+        const std::size_t cap = params_.max_clusters_per_vertex;
+        auto proposals =
+            Job<std::uint32_t, std::uint8_t, std::uint32_t, std::uint32_t,
+                std::uint64_t, std::uint8_t>::
+                run(
+                    cluster_input,
+                    [&](const std::uint32_t& cid, const std::uint8_t&,
+                        Emitter<std::uint32_t, std::uint32_t>& out) {
+                      for (const std::uint32_t v : clusters[cid].verts) {
+                        out.emit(v, cid);
+                      }
+                    },
+                    [&](const std::uint32_t&,
+                        std::span<const std::uint32_t> cids,
+                        Emitter<std::uint64_t, std::uint8_t>& out) {
+                      // Emit raw co-located pairs; the (expensive) density
+                      // check runs once per distinct pair in Task 8.
+                      const std::size_t limit = std::min(cids.size(), cap);
+                      for (std::size_t x = 0; x < limit; ++x) {
+                        for (std::size_t y = x + 1; y < limit; ++y) {
+                          if (cids[x] != cids[y]) {
+                            out.emit(pair_key(cids[x], cids[y]), 1);
+                          }
+                        }
+                      }
+                    },
+                    params_.job, &result.counters);
+        // Distinct proposals only (clusters sharing many vertices emit
+        // the same pair once per shared vertex).
+        std::sort(proposals.begin(), proposals.end());
+        proposals.erase(std::unique(proposals.begin(), proposals.end(),
+                                    [](const auto& a, const auto& b) {
+                                      return a.first == b.first;
+                                    }),
+                        proposals.end());
+
+        // Task 8 (apply + dedup): proposals referencing clusters merged
+        // earlier in this pass are chased to their successors, so one
+        // pass can consolidate a whole connected block.
+        std::vector<std::uint32_t> successor(clusters.size());
+        for (std::uint32_t c = 0; c < clusters.size(); ++c) successor[c] = c;
+        const auto resolve = [&](std::uint32_t c) {
+          while (successor[c] != c) c = successor[c];
+          return c;
+        };
+        std::size_t applied = 0;
+        for (const auto& [key, _] : proposals) {
+          const auto ci = resolve(static_cast<std::uint32_t>(key >> 32));
+          const auto cj = resolve(static_cast<std::uint32_t>(key));
+          if (ci == cj || !alive[ci] || !alive[cj]) continue;
+          Cluster merged;
+          if (!mergeable(ci, cj, &merged)) continue;
+          alive[ci] = false;
+          alive[cj] = false;
+          clusters.push_back(std::move(merged));
+          alive.push_back(true);
+          const auto id = static_cast<std::uint32_t>(clusters.size() - 1);
+          successor.push_back(id);
+          successor[ci] = id;
+          successor[cj] = id;
+          ++level.clusters_processed;
+          ++applied;
+        }
+
+        // Dedup identical vertex sets and prune clusters subsumed by the
+        // largest cluster of any of their vertices.
+        std::unordered_map<std::uint64_t, std::uint32_t> seen;
+        std::unordered_map<std::uint32_t, std::uint32_t> largest_at;
+        for (std::uint32_t c = 0; c < clusters.size(); ++c) {
+          if (!alive[c]) continue;
+          const std::uint64_t h = vertex_set_hash(clusters[c].verts);
+          const auto it = seen.find(h);
+          if (it != seen.end() &&
+              clusters[it->second].verts == clusters[c].verts) {
+            alive[c] = false;
+            continue;
+          }
+          seen.emplace(h, c);
+          for (const std::uint32_t v : clusters[c].verts) {
+            const auto lit = largest_at.find(v);
+            if (lit == largest_at.end() ||
+                clusters[lit->second].verts.size() <
+                    clusters[c].verts.size()) {
+              largest_at[v] = c;
+            }
+          }
+        }
+        for (std::uint32_t c = 0; c < clusters.size(); ++c) {
+          if (!alive[c]) continue;
+          const auto lit = largest_at.find(clusters[c].verts.front());
+          if (lit == largest_at.end() || lit->second == c) continue;
+          const auto& big = clusters[lit->second].verts;
+          if (big.size() > clusters[c].verts.size() &&
+              std::includes(big.begin(), big.end(),
+                            clusters[c].verts.begin(),
+                            clusters[c].verts.end())) {
+            alive[c] = false;
+          }
+        }
+        if (applied == 0) break;
+      }
+    }
+
+    // Snapshot the level's clusters with their induced edge counts.
+    for (std::uint32_t c = 0; c < clusters.size(); ++c) {
+      if (alive[c] && clusters[c].verts.size() >= 2) {
+        Cluster snap = clusters[c];
+        snap.edge_count = induced_edges(snap.verts);
+        level.clusters.push_back(std::move(snap));
+      }
+    }
+    level.resulting_clusters = level.clusters.size();
+    result.levels.push_back(std::move(level));
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> Closet::to_partition(
+    const std::vector<Cluster>& clusters, std::size_t num_reads) {
+  std::vector<std::uint32_t> labels(num_reads);
+  std::vector<std::size_t> best_size(num_reads, 0);
+  // Unique singleton labels first.
+  for (std::uint32_t i = 0; i < num_reads; ++i) labels[i] = i;
+  // Assign each read to its largest containing cluster; cluster labels
+  // start after the singleton range.
+  for (std::uint32_t c = 0; c < clusters.size(); ++c) {
+    for (const std::uint32_t v : clusters[c].verts) {
+      if (v < num_reads && clusters[c].verts.size() > best_size[v]) {
+        best_size[v] = clusters[c].verts.size();
+        labels[v] = static_cast<std::uint32_t>(num_reads) + c;
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace ngs::closet

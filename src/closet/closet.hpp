@@ -1,0 +1,113 @@
+#pragma once
+// CLOSET (CLoud Open SequencE clusTering, Chapter 4): metagenomic read
+// clustering via sketching + incremental maximal quasi-clique
+// enumeration, expressed as MapReduce tasks over the mini engine.
+//
+// Phase I (Tasks 1-5): per sketch round l = 0..rounds-1,
+//   Task 1 groups reads by shared sketch hash (groups larger than Cmax
+//          are deferred — high-frequency kmers are uninformative),
+//   Task 2 generates candidate pairs from the groups and screens them by
+//          sketch similarity >= Cmin,
+//   Task 3 deduplicates candidates across rounds,
+//   Tasks 4-5 validate each candidate with the full similarity function F
+//          (the standalone kmer-set similarity, or banded alignment).
+//
+// Phase II (Tasks 6-8), per decreasing threshold t_k:
+//   Task 6 filters validated edges at t_k (incremental: only new edges),
+//   Task 7 groups clusters by shared vertex and proposes merges that keep
+//          edge density >= gamma (a gamma-quasi-clique),
+//   Task 8 applies proposals and deduplicates clusters by vertex set;
+//   iterate to a fixed point. Clusters may overlap (a read may sit in
+//   several quasi-cliques), which is the model's answer to ambiguous
+//   similarity: see Sec. 4.1.
+
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/job.hpp"
+#include "seq/read.hpp"
+#include "util/timer.hpp"
+
+namespace ngs::closet {
+
+struct ClosetParams {
+  int k = 15;
+  std::uint64_t sketch_mod = 8;  // M: sketch keeps ~1/M of the kmers
+  int sketch_rounds = 3;         // l iterations (Sec. 4.5.2 uses 3)
+  /// Defer sketch groups larger than this (high-frequency kmers shared by
+  /// too many reads cost O(group^2) pair generation without
+  /// discriminating). Must exceed the deepest within-taxon read depth or
+  /// abundant taxa lose their candidate pairs entirely.
+  std::uint32_t cmax = 512;
+  double cmin = 0.6;             // candidate screening similarity
+  double gamma = 2.0 / 3.0;      // quasi-clique density
+  std::vector<double> thresholds{0.95, 0.92, 0.90};  // decreasing t_k
+  int max_merge_iterations = 12;
+  std::size_t max_clusters_per_vertex = 16;  // cap on Task 7 pair fan-out
+  bool validate_with_alignment = false;      // use banded alignment as F
+  mapreduce::JobConfig job;
+};
+
+struct Edge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  double score = 0.0;
+};
+
+/// A (possibly overlapping) cluster: a gamma-quasi-clique. Density is
+/// measured on the subgraph induced by `verts` in the level's edge set
+/// (the definition of Sec. 4.2); `edge_count` caches that induced count.
+struct Cluster {
+  std::vector<std::uint32_t> verts;  // sorted read ids
+  std::uint64_t edge_count = 0;      // induced edges at snapshot time
+
+  double density() const noexcept {
+    const double n = static_cast<double>(verts.size());
+    return n < 2 ? 1.0
+                 : static_cast<double>(edge_count) / (n * (n - 1.0) / 2.0);
+  }
+};
+
+struct LevelResult {
+  double threshold = 0.0;
+  std::uint64_t edges_active = 0;       // edges with score >= threshold
+  std::uint64_t clusters_processed = 0; // cluster records through Task 7
+  std::uint64_t resulting_clusters = 0; // final clusters (|V| >= 2)
+  std::vector<Cluster> clusters;
+};
+
+struct ClosetResult {
+  std::uint64_t predicted_pair_records = 0;  // Task 2 pair emissions
+  std::uint64_t unique_candidate_pairs = 0;  // after Task 3 dedup
+  std::uint64_t confirmed_edges = 0;         // after validation
+  std::vector<Edge> edges;
+  std::vector<LevelResult> levels;
+  util::StageTimes times;
+  mapreduce::JobCounters counters;
+};
+
+inline std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+class Closet {
+ public:
+  explicit Closet(ClosetParams params);
+
+  const ClosetParams& params() const noexcept { return params_; }
+
+  /// Runs the full pipeline.
+  ClosetResult run(const seq::ReadSet& reads) const;
+
+  /// Converts (possibly overlapping) clusters to a hard partition for
+  /// ARI: each read joins its largest containing cluster; reads in no
+  /// cluster become singletons. Labels are arbitrary but consistent.
+  static std::vector<std::uint32_t> to_partition(
+      const std::vector<Cluster>& clusters, std::size_t num_reads);
+
+ private:
+  ClosetParams params_;
+};
+
+}  // namespace ngs::closet

@@ -1,0 +1,96 @@
+#include "closet/similarity.hpp"
+
+#include <algorithm>
+
+#include "seq/kmer.hpp"
+#include "util/rng.hpp"
+
+namespace ngs::closet {
+
+std::vector<std::uint64_t> kmer_hashes(std::string_view bases, int k) {
+  std::vector<seq::KmerCode> codes;
+  seq::extract_kmer_codes(bases, k, codes);
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(codes.size());
+  for (const auto code : codes) {
+    std::uint64_t state = seq::canonical(code, k) ^ 0x1234abcd5678ef90ULL;
+    hashes.push_back(util::splitmix64(state));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  return hashes;
+}
+
+std::vector<std::uint64_t> sketch_of(const std::vector<std::uint64_t>& hashes,
+                                     std::uint64_t M, std::uint64_t l) {
+  std::vector<std::uint64_t> sketch;
+  for (const std::uint64_t h : hashes) {
+    if (h % M == l) sketch.push_back(h);
+  }
+  return sketch;
+}
+
+std::size_t intersection_size(const std::vector<std::uint64_t>& a,
+                              const std::vector<std::uint64_t>& b) {
+  std::size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+double set_similarity(const std::vector<std::uint64_t>& a,
+                      const std::vector<std::uint64_t>& b) {
+  const std::size_t m = std::min(a.size(), b.size());
+  if (m == 0) return 0.0;
+  return static_cast<double>(intersection_size(a, b)) /
+         static_cast<double>(m);
+}
+
+double banded_alignment_identity(std::string_view a, std::string_view b,
+                                 int band) {
+  if (a.empty() || b.empty()) return 0.0;
+  if (a.size() > b.size()) std::swap(a, b);
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  // Score = matches; gaps/mismatches contribute 0; track the best number
+  // of matched columns reachable within the band.
+  const int width = 2 * band + 1;
+  std::vector<int> prev(static_cast<std::size_t>(width), 0);
+  std::vector<int> cur(static_cast<std::size_t>(width), 0);
+  int best = 0;
+  for (int i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), 0);
+    const int j_lo = std::max(1, i - band);
+    const int j_hi = std::min(m, i + band);
+    for (int j = j_lo; j <= j_hi; ++j) {
+      const int off = j - i + band;
+      const bool match =
+          a[static_cast<std::size_t>(i - 1)] ==
+          b[static_cast<std::size_t>(j - 1)];
+      int v = 0;
+      // Diagonal (same offset in prev row).
+      v = std::max(v, prev[static_cast<std::size_t>(off)] + (match ? 1 : 0));
+      // Gap in b (offset-1 in current row).
+      if (off - 1 >= 0) v = std::max(v, cur[static_cast<std::size_t>(off - 1)]);
+      // Gap in a (offset+1 in prev row).
+      if (off + 1 < width) {
+        v = std::max(v, prev[static_cast<std::size_t>(off + 1)]);
+      }
+      cur[static_cast<std::size_t>(off)] = v;
+      best = std::max(best, v);
+    }
+    prev.swap(cur);
+  }
+  return static_cast<double>(best) / static_cast<double>(n);
+}
+
+}  // namespace ngs::closet

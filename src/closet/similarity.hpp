@@ -1,0 +1,39 @@
+#pragma once
+// Sketch-based read similarity (Sec. 4.3.1, adapted from Broder et al.):
+// every read is converted to the set of 64-bit hashes of its canonical
+// kmers (canonicalization makes strand orientation irrelevant); the
+// round-l sketch keeps hashes congruent to l mod M. The similarity of
+// two reads is |H_i n H_j| / min(|H_i|, |H_j|) — the min-normalization
+// captures containment (a read that is a substring of another scores 1).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "seq/read.hpp"
+
+namespace ngs::closet {
+
+/// Sorted distinct canonical-kmer hashes of a read.
+std::vector<std::uint64_t> kmer_hashes(std::string_view bases, int k);
+
+/// The round-l sketch: elements of `hashes` with h % M == l.
+std::vector<std::uint64_t> sketch_of(const std::vector<std::uint64_t>& hashes,
+                                     std::uint64_t M, std::uint64_t l);
+
+/// |a n b| for sorted vectors.
+std::size_t intersection_size(const std::vector<std::uint64_t>& a,
+                              const std::vector<std::uint64_t>& b);
+
+/// Similarity |a n b| / min(|a|, |b|); 0 when either set is empty.
+double set_similarity(const std::vector<std::uint64_t>& a,
+                      const std::vector<std::uint64_t>& b);
+
+/// Banded global alignment identity (an alternative user-supplied F for
+/// edge validation): fraction of matching columns in the best alignment
+/// of `a` against `b` within the band, normalized by the shorter length.
+/// O(min(|a|,|b|) * band).
+double banded_alignment_identity(std::string_view a, std::string_view b,
+                                 int band = 16);
+
+}  // namespace ngs::closet

@@ -1,0 +1,86 @@
+#include "eval/abundance.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ngs::eval {
+
+std::vector<double> abundance_profile(
+    const std::vector<std::uint32_t>& labels) {
+  if (labels.empty()) return {};
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  for (const auto l : labels) ++counts[l];
+  std::vector<double> profile;
+  profile.reserve(counts.size());
+  const double n = static_cast<double>(labels.size());
+  for (const auto& [_, c] : counts) {
+    profile.push_back(static_cast<double>(c) / n);
+  }
+  std::sort(profile.rbegin(), profile.rend());
+  return profile;
+}
+
+double bray_curtis(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  double min_sum = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = i < a.size() ? a[i] : 0.0;
+    const double y = i < b.size() ? b[i] : 0.0;
+    min_sum += std::min(x, y);
+    total += x + y;
+  }
+  return total == 0.0 ? 0.0 : 1.0 - 2.0 * min_sum / total;
+}
+
+double matched_abundance_error(
+    const std::vector<std::uint32_t>& cluster_labels,
+    const std::vector<std::uint32_t>& true_labels) {
+  if (cluster_labels.size() != true_labels.size() || cluster_labels.empty()) {
+    throw std::invalid_argument("matched_abundance_error: bad label vectors");
+  }
+  const std::size_t n = cluster_labels.size();
+
+  // For each cluster, the true taxon it overlaps most.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> overlap;
+  std::unordered_map<std::uint32_t, std::uint64_t> cluster_size, taxon_size;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++overlap[{cluster_labels[i], true_labels[i]}];
+    ++cluster_size[cluster_labels[i]];
+    ++taxon_size[true_labels[i]];
+  }
+  std::unordered_map<std::uint32_t, std::pair<std::uint32_t, std::uint64_t>>
+      best;  // cluster -> (taxon, overlap)
+  for (const auto& [key, count] : overlap) {
+    auto& entry = best[key.first];
+    if (count > entry.second) entry = {key.second, count};
+  }
+
+  // Estimated per-taxon mass = summed sizes of clusters assigned to it.
+  std::unordered_map<std::uint32_t, std::uint64_t> estimated;
+  for (const auto& [cluster, assignment] : best) {
+    estimated[assignment.first] += cluster_size[cluster];
+  }
+
+  // Total variation distance between the two per-taxon distributions.
+  double tv = 0.0;
+  for (const auto& [taxon, size] : taxon_size) {
+    const double truth = static_cast<double>(size) / static_cast<double>(n);
+    const auto it = estimated.find(taxon);
+    const double est =
+        it == estimated.end()
+            ? 0.0
+            : static_cast<double>(it->second) / static_cast<double>(n);
+    tv += std::abs(truth - est);
+  }
+  for (const auto& [taxon, size] : estimated) {
+    if (taxon_size.find(taxon) == taxon_size.end()) {
+      tv += static_cast<double>(size) / static_cast<double>(n);
+    }
+  }
+  return tv / 2.0;
+}
+
+}  // namespace ngs::eval

@@ -1,0 +1,30 @@
+#pragma once
+// Taxonomic-unit abundance profiling (Sec. 4.1): the motivating task of
+// Chapter 4 is to estimate each taxonomic unit's abundance as the
+// fraction of reads belonging to it. Given a clustering (hard labels),
+// the estimated profile is the normalized cluster-size vector; its
+// quality against the true profile is measured with Bray-Curtis
+// dissimilarity after greedily matching clusters to taxa by overlap.
+
+#include <cstdint>
+#include <vector>
+
+namespace ngs::eval {
+
+/// Normalized cluster-size profile: fraction of elements per label.
+/// Returned in descending order (rank-abundance curve).
+std::vector<double> abundance_profile(
+    const std::vector<std::uint32_t>& labels);
+
+/// Bray-Curtis dissimilarity between two abundance profiles (compared as
+/// rank-abundance curves, padded with zeros). 0 = identical, 1 = disjoint.
+double bray_curtis(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Matched abundance error: each cluster is assigned to the true taxon
+/// it overlaps most; per-taxon estimated abundance is the summed size of
+/// its clusters. Returns the total variation distance between the
+/// estimated and true per-taxon profiles (0 = exact quantification).
+double matched_abundance_error(const std::vector<std::uint32_t>& cluster_labels,
+                               const std::vector<std::uint32_t>& true_labels);
+
+}  // namespace ngs::eval

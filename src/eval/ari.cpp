@@ -1,0 +1,50 @@
+#include "eval/ari.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ngs::eval {
+namespace {
+
+double choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+AriResult adjusted_rand_index(const std::vector<std::uint32_t>& labels_u,
+                              const std::vector<std::uint32_t>& labels_v) {
+  if (labels_u.size() != labels_v.size() || labels_u.empty()) {
+    throw std::invalid_argument("adjusted_rand_index: bad label vectors");
+  }
+  const std::size_t n = labels_u.size();
+
+  // Contingency table (sparse) plus row/column sums.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> cells;
+  std::unordered_map<std::uint32_t, std::uint64_t> row_sums, col_sums;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++cells[{labels_u[i], labels_v[i]}];
+    ++row_sums[labels_u[i]];
+    ++col_sums[labels_v[i]];
+  }
+
+  double sum_cells = 0.0;
+  for (const auto& [_, c] : cells) sum_cells += choose2(static_cast<double>(c));
+  double sum_rows = 0.0;
+  for (const auto& [_, a] : row_sums) sum_rows += choose2(static_cast<double>(a));
+  double sum_cols = 0.0;
+  for (const auto& [_, b] : col_sums) sum_cols += choose2(static_cast<double>(b));
+
+  const double total_pairs = choose2(static_cast<double>(n));
+  const double expected = sum_rows * sum_cols / total_pairs;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+
+  AriResult result;
+  result.n = n;
+  result.clusters_u = row_sums.size();
+  result.clusters_v = col_sums.size();
+  const double denom = max_index - expected;
+  result.ari = denom == 0.0 ? 1.0 : (sum_cells - expected) / denom;
+  return result;
+}
+
+}  // namespace ngs::eval

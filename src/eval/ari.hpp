@@ -1,0 +1,23 @@
+#pragma once
+// Adjusted Rand Index between two hard clusterings (Sec. 4.5.2,
+// Hubert & Arabie 1985), with the contingency-table computation of
+// Table 4.4. Labels are arbitrary integers; element i belongs to
+// cluster labels_u[i] in U and labels_v[i] in V.
+
+#include <cstdint>
+#include <vector>
+
+namespace ngs::eval {
+
+struct AriResult {
+  double ari = 0.0;
+  std::uint64_t n = 0;
+  std::size_t clusters_u = 0;
+  std::size_t clusters_v = 0;
+};
+
+/// Computes ARI. Both label vectors must have the same length (> 0).
+AriResult adjusted_rand_index(const std::vector<std::uint32_t>& labels_u,
+                              const std::vector<std::uint32_t>& labels_v);
+
+}  // namespace ngs::eval

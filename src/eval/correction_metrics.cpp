@@ -1,0 +1,78 @@
+#include "eval/correction_metrics.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ngs::eval {
+
+CorrectionCounts evaluate_read(std::string_view original,
+                               std::string_view corrected,
+                               std::string_view truth) {
+  if (original.size() != corrected.size() ||
+      original.size() != truth.size()) {
+    throw std::invalid_argument("evaluate_read: length mismatch");
+  }
+  CorrectionCounts c;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const char o = original[i];
+    const char t = truth[i];
+    const char cc = corrected[i];
+    if (o == t) {
+      if (cc == o) {
+        ++c.tn;
+      } else {
+        ++c.fp;
+      }
+    } else {
+      if (cc == t) {
+        ++c.tp;
+      } else if (cc == o) {
+        ++c.fn;
+      } else {
+        // Detected as erroneous but corrected to a wrong base: the error
+        // persists (counts against Gain via FN) and feeds EBA via ne.
+        ++c.fn;
+        ++c.wrong_target;
+      }
+    }
+  }
+  return c;
+}
+
+CorrectionCounts evaluate_correction(const seq::ReadSet& original,
+                                     const std::vector<seq::Read>& corrected) {
+  if (!original.has_truth()) {
+    throw std::invalid_argument("evaluate_correction: read set lacks truth");
+  }
+  if (corrected.size() != original.reads.size()) {
+    throw std::invalid_argument("evaluate_correction: read count mismatch");
+  }
+  CorrectionCounts total;
+  for (std::size_t i = 0; i < corrected.size(); ++i) {
+    total.merge(evaluate_read(original.reads[i].bases, corrected[i].bases,
+                              original.truth[i].true_bases));
+  }
+  return total;
+}
+
+AmbiguousStats evaluate_ambiguous(const seq::ReadSet& original,
+                                  const std::vector<seq::Read>& corrected) {
+  if (!original.has_truth()) {
+    throw std::invalid_argument("evaluate_ambiguous: read set lacks truth");
+  }
+  AmbiguousStats stats;
+  for (std::size_t i = 0; i < corrected.size(); ++i) {
+    const auto& orig = original.reads[i].bases;
+    const auto& corr = corrected[i].bases;
+    const auto& truth = original.truth[i].true_bases;
+    for (std::size_t p = 0; p < orig.size(); ++p) {
+      if (orig[p] == 'N') {
+        ++stats.total_n;
+        if (corr[p] == truth[p]) ++stats.resolved_correctly;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace ngs::eval

@@ -1,0 +1,89 @@
+#pragma once
+// Base-level error-correction evaluation (Sec. 2.4): comparing the
+// original, corrected, and true version of every read yields
+//   TP — erroneous base changed to the true base
+//   FP — true base changed (to anything)
+//   TN — true base left unchanged
+//   FN — erroneous base left unchanged
+//   ne — erroneous base changed, but to a wrong base (feeds EBA)
+// and the derived measures Sensitivity, Specificity, EBA = ne/(TP+ne),
+// and Gain = (TP - FP)/(TP + FN).
+//
+// With simulated reads the truth is exact (ReadSet::truth), which is the
+// evaluation the paper approximates via RMAP mapping.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "seq/read.hpp"
+
+namespace ngs::eval {
+
+struct CorrectionCounts {
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fn = 0;
+  std::uint64_t wrong_target = 0;  // ne: detected but miscorrected
+
+  void merge(const CorrectionCounts& o) {
+    tp += o.tp;
+    fp += o.fp;
+    tn += o.tn;
+    fn += o.fn;
+    wrong_target += o.wrong_target;
+  }
+
+  double sensitivity() const {
+    const auto denom = tp + fn;
+    return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+  }
+  double specificity() const {
+    const auto denom = tn + fp;
+    return denom == 0 ? 0.0 : static_cast<double>(tn) / static_cast<double>(denom);
+  }
+  double gain() const {
+    const auto denom = tp + fn;
+    return denom == 0 ? 0.0
+                      : (static_cast<double>(tp) - static_cast<double>(fp)) /
+                            static_cast<double>(denom);
+  }
+  double eba() const {
+    const auto denom = tp + wrong_target;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(wrong_target) /
+                            static_cast<double>(denom);
+  }
+};
+
+/// Per-base comparison of one read triple. All three strings must have
+/// equal length. Ambiguous bases in `original` are classified against the
+/// truth exactly like mismatching bases (an uncorrected N is a FN; an N
+/// corrected to the true base is a TP).
+CorrectionCounts evaluate_read(std::string_view original,
+                               std::string_view corrected,
+                               std::string_view truth);
+
+/// Aggregates over a read set. `corrected` must parallel `original.reads`;
+/// `original` must carry truth.
+CorrectionCounts evaluate_correction(const seq::ReadSet& original,
+                                     const std::vector<seq::Read>& corrected);
+
+/// Accuracy of ambiguous-base correction (Table 2.4): among positions
+/// that were 'N' in the original read, the fraction the corrector
+/// resolved to the true base.
+struct AmbiguousStats {
+  std::uint64_t total_n = 0;
+  std::uint64_t resolved_correctly = 0;
+  double accuracy() const {
+    return total_n == 0 ? 0.0
+                        : static_cast<double>(resolved_correctly) /
+                              static_cast<double>(total_n);
+  }
+};
+
+AmbiguousStats evaluate_ambiguous(const seq::ReadSet& original,
+                                  const std::vector<seq::Read>& corrected);
+
+}  // namespace ngs::eval

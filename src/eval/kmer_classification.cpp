@@ -1,0 +1,65 @@
+#include "eval/kmer_classification.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ngs::eval {
+
+std::vector<bool> genome_truth(const kspec::KSpectrum& read_spectrum,
+                               const kspec::KSpectrum& genome_spectrum) {
+  std::vector<bool> truth(read_spectrum.size());
+  for (std::size_t i = 0; i < read_spectrum.size(); ++i) {
+    truth[i] = genome_spectrum.contains(read_spectrum.code_at(i));
+  }
+  return truth;
+}
+
+std::vector<ThresholdPoint> sweep_thresholds(
+    const std::vector<double>& scores, const std::vector<bool>& truth,
+    const std::vector<double>& thresholds) {
+  if (scores.size() != truth.size()) {
+    throw std::invalid_argument("sweep_thresholds: size mismatch");
+  }
+  // Sort scores by value, separating valid and invalid kmers; then each
+  // threshold is two binary searches instead of a full scan.
+  std::vector<double> valid_scores, invalid_scores;
+  valid_scores.reserve(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    (truth[i] ? valid_scores : invalid_scores).push_back(scores[i]);
+  }
+  std::sort(valid_scores.begin(), valid_scores.end());
+  std::sort(invalid_scores.begin(), invalid_scores.end());
+
+  std::vector<ThresholdPoint> out;
+  out.reserve(thresholds.size());
+  for (const double m : thresholds) {
+    ThresholdPoint p;
+    p.threshold = m;
+    // FP: valid kmers with score < m.
+    p.fp = static_cast<std::uint64_t>(
+        std::lower_bound(valid_scores.begin(), valid_scores.end(), m) -
+        valid_scores.begin());
+    // FN: invalid kmers with score >= m.
+    p.fn = static_cast<std::uint64_t>(
+        invalid_scores.end() -
+        std::lower_bound(invalid_scores.begin(), invalid_scores.end(), m));
+    out.push_back(p);
+  }
+  return out;
+}
+
+ThresholdPoint best_point(const std::vector<ThresholdPoint>& sweep) {
+  if (sweep.empty()) return {};
+  return *std::min_element(sweep.begin(), sweep.end(),
+                           [](const ThresholdPoint& a, const ThresholdPoint& b) {
+                             return a.wrong() < b.wrong();
+                           });
+}
+
+std::vector<double> linear_thresholds(double max_threshold, double step) {
+  std::vector<double> ts;
+  for (double t = 0.0; t <= max_threshold; t += step) ts.push_back(t);
+  return ts;
+}
+
+}  // namespace ngs::eval

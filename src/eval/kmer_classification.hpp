@@ -1,0 +1,41 @@
+#pragma once
+// Kmer-level error-detection evaluation (Sec. 3.4.2, Table 3.3/Fig 3.2):
+// a kmer of the read spectrum is "valid" iff it occurs in the reference
+// genome (either strand). Thresholding any score vector (observed counts
+// Y or REDEEM's estimated attempts T) at M classifies kmers below M as
+// erroneous; we count
+//   FP — a valid kmer classified erroneous (score < M)
+//   FN — an invalid kmer classified valid (score >= M)
+// and sweep M to find the minimum FP+FN per method.
+
+#include <cstdint>
+#include <vector>
+
+#include "kspec/kspectrum.hpp"
+
+namespace ngs::eval {
+
+/// truth[i] = true iff spectrum kmer i occurs in the genome.
+std::vector<bool> genome_truth(const kspec::KSpectrum& read_spectrum,
+                               const kspec::KSpectrum& genome_spectrum);
+
+struct ThresholdPoint {
+  double threshold = 0.0;
+  std::uint64_t fp = 0;
+  std::uint64_t fn = 0;
+  std::uint64_t wrong() const { return fp + fn; }
+};
+
+/// Evaluates FP/FN of classifying kmer i erroneous iff scores[i] <
+/// threshold, for each threshold in `thresholds`.
+std::vector<ThresholdPoint> sweep_thresholds(
+    const std::vector<double>& scores, const std::vector<bool>& truth,
+    const std::vector<double>& thresholds);
+
+/// The minimum-FP+FN point over a sweep.
+ThresholdPoint best_point(const std::vector<ThresholdPoint>& sweep);
+
+/// Convenience: thresholds 0..max_threshold step `step`.
+std::vector<double> linear_thresholds(double max_threshold, double step);
+
+}  // namespace ngs::eval

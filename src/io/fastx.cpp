@@ -1,0 +1,146 @@
+#include "io/fastx.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ngs::io {
+namespace {
+
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+std::ifstream open_input(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return is;
+}
+
+std::ofstream open_output(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  return os;
+}
+
+}  // namespace
+
+seq::ReadSet read_fastq(std::istream& is) {
+  seq::ReadSet set;
+  std::string header, bases, plus, qual;
+  while (std::getline(is, header)) {
+    strip_cr(header);
+    if (header.empty()) continue;
+    if (header[0] != '@') {
+      throw std::runtime_error("FASTQ: expected '@' header, got: " + header);
+    }
+    if (!std::getline(is, bases) || !std::getline(is, plus) ||
+        !std::getline(is, qual)) {
+      throw std::runtime_error("FASTQ: truncated record: " + header);
+    }
+    strip_cr(bases);
+    strip_cr(plus);
+    strip_cr(qual);
+    if (plus.empty() || plus[0] != '+') {
+      throw std::runtime_error("FASTQ: expected '+' separator: " + header);
+    }
+    if (bases.size() != qual.size()) {
+      throw std::runtime_error("FASTQ: sequence/quality length mismatch: " +
+                               header);
+    }
+    seq::Read read;
+    read.id = header.substr(1);
+    read.bases = bases;
+    read.quality.reserve(qual.size());
+    for (char c : qual) {
+      const int q = static_cast<unsigned char>(c) - kPhredOffset;
+      if (q < 0) throw std::runtime_error("FASTQ: quality below offset");
+      read.quality.push_back(static_cast<std::uint8_t>(q));
+    }
+    set.reads.push_back(std::move(read));
+  }
+  return set;
+}
+
+seq::ReadSet read_fastq_file(const std::string& path) {
+  auto is = open_input(path);
+  return read_fastq(is);
+}
+
+seq::ReadSet read_fasta(std::istream& is) {
+  seq::ReadSet set;
+  std::string line;
+  seq::Read current;
+  bool in_record = false;
+  auto flush = [&] {
+    if (in_record) set.reads.push_back(std::move(current));
+    current = seq::Read{};
+  };
+  while (std::getline(is, line)) {
+    strip_cr(line);
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      in_record = true;
+      current.id = line.substr(1);
+    } else {
+      if (!in_record) {
+        throw std::runtime_error("FASTA: sequence before first header");
+      }
+      current.bases += line;
+    }
+  }
+  flush();
+  return set;
+}
+
+seq::ReadSet read_fasta_file(const std::string& path) {
+  auto is = open_input(path);
+  return read_fasta(is);
+}
+
+void write_fastq(std::ostream& os, const seq::ReadSet& reads,
+                 std::uint8_t default_quality) {
+  for (const auto& r : reads.reads) {
+    os << '@' << r.id << '\n' << r.bases << "\n+\n";
+    if (r.quality.size() == r.bases.size()) {
+      for (std::uint8_t q : r.quality) {
+        os << static_cast<char>(q + kPhredOffset);
+      }
+    } else {
+      for (std::size_t i = 0; i < r.bases.size(); ++i) {
+        os << static_cast<char>(default_quality + kPhredOffset);
+      }
+    }
+    os << '\n';
+  }
+}
+
+void write_fastq_file(const std::string& path, const seq::ReadSet& reads,
+                      std::uint8_t default_quality) {
+  auto os = open_output(path);
+  write_fastq(os, reads, default_quality);
+}
+
+void write_fasta(std::ostream& os, const seq::ReadSet& reads,
+                 std::size_t line_width) {
+  for (const auto& r : reads.reads) {
+    os << '>' << r.id << '\n';
+    if (line_width == 0) {
+      os << r.bases << '\n';
+    } else {
+      for (std::size_t i = 0; i < r.bases.size(); i += line_width) {
+        os << r.bases.substr(i, line_width) << '\n';
+      }
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const seq::ReadSet& reads,
+                      std::size_t line_width) {
+  auto os = open_output(path);
+  write_fasta(os, reads, line_width);
+}
+
+}  // namespace ngs::io

@@ -1,0 +1,38 @@
+#pragma once
+// FASTA / FASTQ readers and writers.
+//
+// The benches exchange simulated datasets through standard formats so the
+// library is usable on real data unchanged. Phred quality is encoded with
+// the Sanger +33 offset.
+
+#include <iosfwd>
+#include <string>
+
+#include "seq/read.hpp"
+
+namespace ngs::io {
+
+inline constexpr int kPhredOffset = 33;
+
+/// Parses FASTQ from a stream into a ReadSet. Throws std::runtime_error
+/// on malformed records (truncated record, length mismatch, bad header).
+seq::ReadSet read_fastq(std::istream& is);
+seq::ReadSet read_fastq_file(const std::string& path);
+
+/// Parses (multi-line) FASTA; quality vectors are left empty.
+seq::ReadSet read_fasta(std::istream& is);
+seq::ReadSet read_fasta_file(const std::string& path);
+
+/// Writes FASTQ. Reads without quality get a constant placeholder score.
+void write_fastq(std::ostream& os, const seq::ReadSet& reads,
+                 std::uint8_t default_quality = 30);
+void write_fastq_file(const std::string& path, const seq::ReadSet& reads,
+                      std::uint8_t default_quality = 30);
+
+/// Writes FASTA with the given line width (0 = single line).
+void write_fasta(std::ostream& os, const seq::ReadSet& reads,
+                 std::size_t line_width = 70);
+void write_fasta_file(const std::string& path, const seq::ReadSet& reads,
+                      std::size_t line_width = 70);
+
+}  // namespace ngs::io

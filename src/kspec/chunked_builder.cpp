@@ -1,0 +1,115 @@
+#include "kspec/chunked_builder.hpp"
+
+#include <algorithm>
+
+#include "seq/alphabet.hpp"
+
+namespace ngs::kspec {
+
+ChunkedSpectrumBuilder::ChunkedSpectrumBuilder(int k, bool both_strands,
+                                               std::size_t batch_instances)
+    : k_(k),
+      both_strands_(both_strands),
+      batch_instances_(std::max<std::size_t>(1024, batch_instances)) {}
+
+void ChunkedSpectrumBuilder::add_read(std::string_view bases) {
+  seq::extract_kmer_codes(bases, k_, buffer_);
+  if (both_strands_) {
+    const std::string rc = seq::reverse_complement(bases);
+    seq::extract_kmer_codes(rc, k_, buffer_);
+  }
+  peak_buffered_ = std::max(peak_buffered_, buffer_.size());
+  if (buffer_.size() >= batch_instances_) flush_batch();
+}
+
+void ChunkedSpectrumBuilder::add_reads(const seq::ReadSet& reads) {
+  for (const auto& r : reads.reads) add_read(r.bases);
+}
+
+void ChunkedSpectrumBuilder::add_fastq(std::istream& fastq) {
+  // Record-at-a-time FASTQ scan; malformed records raise as in io::.
+  std::string header, bases, plus, qual;
+  while (std::getline(fastq, header)) {
+    if (header.empty()) continue;
+    if (!std::getline(fastq, bases) || !std::getline(fastq, plus) ||
+        !std::getline(fastq, qual)) {
+      throw std::runtime_error("ChunkedSpectrumBuilder: truncated FASTQ");
+    }
+    if (!bases.empty() && bases.back() == '\r') bases.pop_back();
+    add_read(bases);
+  }
+}
+
+void ChunkedSpectrumBuilder::flush_batch() {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  std::vector<std::pair<seq::KmerCode, std::uint32_t>> run;
+  for (std::size_t i = 0; i < buffer_.size();) {
+    std::size_t j = i;
+    while (j < buffer_.size() && buffer_[j] == buffer_[i]) ++j;
+    run.emplace_back(buffer_[i], static_cast<std::uint32_t>(j - i));
+    i = j;
+  }
+  buffer_.clear();
+
+  // Binary-counter merging: a new run cascades into equal-or-smaller
+  // predecessors, keeping O(log batches) live runs.
+  while (!runs_.empty() && runs_.back().size() <= run.size()) {
+    run = merge_runs(runs_.back(), run);
+    runs_.pop_back();
+    ++merge_rounds_;
+  }
+  runs_.push_back(std::move(run));
+}
+
+std::vector<std::pair<seq::KmerCode, std::uint32_t>>
+ChunkedSpectrumBuilder::merge_runs(
+    const std::vector<std::pair<seq::KmerCode, std::uint32_t>>& a,
+    const std::vector<std::pair<seq::KmerCode, std::uint32_t>>& b) {
+  std::vector<std::pair<seq::KmerCode, std::uint32_t>> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      out.push_back(a[i++]);
+    } else if (b[j].first < a[i].first) {
+      out.push_back(b[j++]);
+    } else {
+      out.emplace_back(a[i].first, a[i].second + b[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  while (i < a.size()) out.push_back(a[i++]);
+  while (j < b.size()) out.push_back(b[j++]);
+  return out;
+}
+
+KSpectrum ChunkedSpectrumBuilder::finish(int* merge_rounds) {
+  flush_batch();
+  std::vector<std::pair<seq::KmerCode, std::uint32_t>> all;
+  for (auto& run : runs_) {
+    all = all.empty() ? std::move(run) : merge_runs(all, run);
+    ++merge_rounds_;
+  }
+  runs_.clear();
+  if (merge_rounds != nullptr) *merge_rounds = merge_rounds_;
+  merge_rounds_ = 0;
+  peak_buffered_ = 0;
+
+  // Expand into the KSpectrum representation without re-sorting: feed
+  // from_codes pre-aggregated counts via its raw arrays. KSpectrum only
+  // exposes from_codes(instances), so rebuild through a compact path:
+  std::vector<seq::KmerCode> codes;
+  std::vector<std::uint32_t> counts;
+  codes.reserve(all.size());
+  counts.reserve(all.size());
+  for (const auto& [code, count] : all) {
+    codes.push_back(code);
+    counts.push_back(count);
+  }
+  return KSpectrum::from_sorted_counts(std::move(codes), std::move(counts),
+                                       k_);
+}
+
+}  // namespace ngs::kspec

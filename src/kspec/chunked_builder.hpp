@@ -1,0 +1,67 @@
+#pragma once
+// Bounded-memory spectrum construction — the divide-and-merge strategy
+// of Sec. 2.3 ("when the collection of input short reads R does not fit
+// in main memory, ... R is partitioned into chunks small enough to
+// occupy just a portion of main memory. For each chunk, we stream
+// through each read and record the k-spectrum and tile information,
+// merging it with the data from previous chunks.").
+//
+// The builder consumes reads in batches (from any source: an in-memory
+// ReadSet, a FASTQ stream, a generator), keeps each batch's sorted
+// (code, count) run, and merges runs pairwise so peak memory stays
+// proportional to the *distinct*-kmer volume plus one batch — never the
+// full instance multiset that KSpectrum::build materializes.
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <vector>
+
+#include "kspec/kspectrum.hpp"
+#include "kspec/tile_table.hpp"
+#include "seq/read.hpp"
+
+namespace ngs::kspec {
+
+class ChunkedSpectrumBuilder {
+ public:
+  /// `batch_instances` bounds the number of kmer instances buffered
+  /// before a batch is sorted and merged (the "portion of main memory").
+  explicit ChunkedSpectrumBuilder(int k, bool both_strands = true,
+                                  std::size_t batch_instances = 1 << 20);
+
+  /// Streams one read's kmers into the current batch.
+  void add_read(std::string_view bases);
+
+  /// Adds every read of a set.
+  void add_reads(const seq::ReadSet& reads);
+
+  /// Adds every read of a FASTQ stream without materializing the set.
+  void add_fastq(std::istream& fastq);
+
+  /// Finalizes: flushes the last batch and returns the spectrum.
+  /// The builder is left empty and reusable.
+  KSpectrum finish(int* merge_rounds = nullptr);
+
+  /// Peak number of buffered instances observed (for tests/telemetry).
+  std::size_t peak_buffered() const noexcept { return peak_buffered_; }
+
+ private:
+  void flush_batch();
+  static std::vector<std::pair<seq::KmerCode, std::uint32_t>> merge_runs(
+      const std::vector<std::pair<seq::KmerCode, std::uint32_t>>& a,
+      const std::vector<std::pair<seq::KmerCode, std::uint32_t>>& b);
+
+  int k_;
+  bool both_strands_;
+  std::size_t batch_instances_;
+  std::vector<seq::KmerCode> buffer_;
+  /// Sorted distinct (code, count) runs awaiting the final merge; run i
+  /// holds ~2^i merged batches (binary-counter merging, so each instance
+  /// is merged O(log batches) times).
+  std::vector<std::vector<std::pair<seq::KmerCode, std::uint32_t>>> runs_;
+  std::size_t peak_buffered_ = 0;
+  int merge_rounds_ = 0;
+};
+
+}  // namespace ngs::kspec

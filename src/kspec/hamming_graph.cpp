@@ -1,0 +1,28 @@
+#include "kspec/hamming_graph.hpp"
+
+#include <algorithm>
+
+namespace ngs::kspec {
+
+HammingGraph::HammingGraph(const KSpectrum& spectrum, int d, int chunks)
+    : d_(d) {
+  const int k = spectrum.k();
+  int c = chunks == 0 ? std::min(k, d + 3) : chunks;
+  c = std::max(c, d + 1);
+  const MaskedSortIndex index(spectrum, c, d);
+
+  const std::size_t n = spectrum.size();
+  offsets_.assign(n + 1, 0);
+  // Vertices are visited in spectrum order, so adjacency lists append in
+  // CSR order directly.
+  for (std::size_t i = 0; i < n; ++i) {
+    index.for_each_neighbor(spectrum.code_at(i),
+                            [&](seq::KmerCode, std::size_t j) {
+                              neighbors_.push_back(
+                                  static_cast<std::uint32_t>(j));
+                            });
+    offsets_[i + 1] = neighbors_.size();
+  }
+}
+
+}  // namespace ngs::kspec

@@ -1,0 +1,75 @@
+#include "kspec/kspectrum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "seq/alphabet.hpp"
+
+namespace ngs::kspec {
+
+KSpectrum KSpectrum::from_codes(std::vector<seq::KmerCode> codes, int k) {
+  std::sort(codes.begin(), codes.end());
+  KSpectrum s;
+  s.k_ = k;
+  s.total_ = codes.size();
+  for (std::size_t i = 0; i < codes.size();) {
+    std::size_t j = i;
+    while (j < codes.size() && codes[j] == codes[i]) ++j;
+    s.codes_.push_back(codes[i]);
+    s.counts_.push_back(static_cast<std::uint32_t>(j - i));
+    i = j;
+  }
+  return s;
+}
+
+KSpectrum KSpectrum::from_sorted_counts(std::vector<seq::KmerCode> codes,
+                                        std::vector<std::uint32_t> counts,
+                                        int k) {
+  if (codes.size() != counts.size()) {
+    throw std::invalid_argument("from_sorted_counts: size mismatch");
+  }
+  KSpectrum s;
+  s.k_ = k;
+  s.codes_ = std::move(codes);
+  s.counts_ = std::move(counts);
+  for (std::size_t i = 0; i < s.codes_.size(); ++i) {
+    if (i > 0 && !(s.codes_[i - 1] < s.codes_[i])) {
+      throw std::invalid_argument("from_sorted_counts: codes not ascending");
+    }
+    s.total_ += s.counts_[i];
+  }
+  return s;
+}
+
+KSpectrum KSpectrum::build(const seq::ReadSet& reads, int k,
+                           bool both_strands) {
+  std::vector<seq::KmerCode> instances;
+  instances.reserve(reads.total_bases() * (both_strands ? 2 : 1));
+  for (const auto& r : reads.reads) {
+    seq::extract_kmer_codes(r.bases, k, instances);
+    if (both_strands) {
+      const std::string rc = seq::reverse_complement(r.bases);
+      seq::extract_kmer_codes(rc, k, instances);
+    }
+  }
+  return from_codes(std::move(instances), k);
+}
+
+KSpectrum KSpectrum::build_from_sequence(std::string_view sequence, int k,
+                                         bool both_strands) {
+  std::vector<seq::KmerCode> instances;
+  seq::extract_kmer_codes(sequence, k, instances);
+  if (both_strands) {
+    const std::string rc = seq::reverse_complement(std::string(sequence));
+    seq::extract_kmer_codes(rc, k, instances);
+  }
+  return from_codes(std::move(instances), k);
+}
+
+std::int64_t KSpectrum::index_of(seq::KmerCode code) const noexcept {
+  const auto it = std::lower_bound(codes_.begin(), codes_.end(), code);
+  if (it == codes_.end() || *it != code) return -1;
+  return static_cast<std::int64_t>(it - codes_.begin());
+}
+
+}  // namespace ngs::kspec

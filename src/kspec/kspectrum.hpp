@@ -1,0 +1,77 @@
+#pragma once
+// The k-spectrum R^k of a read set (Sec. 2.1): the sorted multiset of all
+// kmers occurring in the reads (optionally including reverse-complement
+// strands, as Reptile requires for double-strandedness). Stored as a
+// sorted code array with parallel counts, so membership and count lookups
+// are binary searches and the structure is directly usable as the base
+// array of the masked-sort neighborhood index.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "seq/kmer.hpp"
+#include "seq/read.hpp"
+
+namespace ngs::kspec {
+
+class KSpectrum {
+ public:
+  KSpectrum() = default;
+
+  /// Builds the k-spectrum of `reads`. If both_strands, every read's
+  /// reverse complement contributes as well. Windows with ambiguous
+  /// bases are skipped (callers convert N's beforehand if desired).
+  static KSpectrum build(const seq::ReadSet& reads, int k,
+                         bool both_strands = true);
+
+  /// Builds from a single long sequence (e.g. the reference genome, for
+  /// ground-truth kmer classification).
+  static KSpectrum build_from_sequence(std::string_view sequence, int k,
+                                       bool both_strands = false);
+
+  /// Builds from an explicit code multiset (used by tests).
+  static KSpectrum from_codes(std::vector<seq::KmerCode> codes, int k);
+
+  /// Builds from pre-aggregated sorted (code, count) arrays (used by the
+  /// bounded-memory ChunkedSpectrumBuilder). Codes must be strictly
+  /// ascending; counts parallel and positive.
+  static KSpectrum from_sorted_counts(std::vector<seq::KmerCode> codes,
+                                      std::vector<std::uint32_t> counts,
+                                      int k);
+
+  int k() const noexcept { return k_; }
+  std::size_t size() const noexcept { return codes_.size(); }
+  bool empty() const noexcept { return codes_.empty(); }
+
+  /// Total kmer instances (sum of counts).
+  std::uint64_t total_instances() const noexcept { return total_; }
+
+  bool contains(seq::KmerCode code) const noexcept {
+    return index_of(code) >= 0;
+  }
+
+  /// Multiplicity of `code` in the spectrum (0 if absent).
+  std::uint32_t count(seq::KmerCode code) const noexcept {
+    const auto i = index_of(code);
+    return i < 0 ? 0 : counts_[static_cast<std::size_t>(i)];
+  }
+
+  /// Index of `code` in the sorted array, or -1.
+  std::int64_t index_of(seq::KmerCode code) const noexcept;
+
+  seq::KmerCode code_at(std::size_t i) const noexcept { return codes_[i]; }
+  std::uint32_t count_at(std::size_t i) const noexcept { return counts_[i]; }
+
+  std::span<const seq::KmerCode> codes() const noexcept { return codes_; }
+  std::span<const std::uint32_t> counts() const noexcept { return counts_; }
+
+ private:
+  int k_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<seq::KmerCode> codes_;    // sorted ascending, unique
+  std::vector<std::uint32_t> counts_;   // parallel multiplicities
+};
+
+}  // namespace ngs::kspec

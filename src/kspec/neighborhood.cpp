@@ -1,0 +1,123 @@
+#include "kspec/neighborhood.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ngs::kspec {
+
+void CandidateEnumerator::for_each_neighbor(seq::KmerCode code, int d,
+                                            const NeighborVisitor& visit) const {
+  scratch_.clear();
+  seq::enumerate_neighbors(code, spectrum_->k(), d, scratch_);
+  for (const seq::KmerCode cand : scratch_) {
+    const auto idx = spectrum_->index_of(cand);
+    if (idx >= 0) visit(cand, static_cast<std::size_t>(idx));
+  }
+}
+
+namespace {
+
+/// Bitmask covering 2-bit groups of positions [begin, end) of a k-mer
+/// (position 0 = 5'-most = most significant pair).
+seq::KmerCode positions_mask(int k, int begin, int end) {
+  seq::KmerCode mask = 0;
+  for (int i = begin; i < end; ++i) {
+    mask |= seq::KmerCode{3} << (2 * (k - 1 - i));
+  }
+  return mask;
+}
+
+/// Enumerates all subsets of size `d` of {0..c-1}, invoking fn(subset).
+void for_each_subset(int c, int d,
+                     const std::function<void(const std::vector<int>&)>& fn) {
+  std::vector<int> subset(static_cast<std::size_t>(d));
+  std::function<void(int, int)> rec = [&](int start, int depth) {
+    if (depth == d) {
+      fn(subset);
+      return;
+    }
+    for (int i = start; i <= c - (d - depth); ++i) {
+      subset[static_cast<std::size_t>(depth)] = i;
+      rec(i + 1, depth + 1);
+    }
+  };
+  rec(0, 0);
+}
+
+}  // namespace
+
+MaskedSortIndex::MaskedSortIndex(const KSpectrum& spectrum, int c, int d)
+    : spectrum_(&spectrum), d_(d) {
+  const int k = spectrum.k();
+  if (!(d < c && c <= k)) {
+    throw std::invalid_argument("MaskedSortIndex: requires d < c <= k");
+  }
+  // Chunk boundaries: the first (k mod c) chunks get ceil(k/c) positions.
+  std::vector<std::pair<int, int>> chunks;
+  const int base = k / c;
+  const int extra = k % c;
+  int pos = 0;
+  for (int j = 0; j < c; ++j) {
+    const int len = base + (j < extra ? 1 : 0);
+    chunks.emplace_back(pos, pos + len);
+    pos += len;
+  }
+
+  for_each_subset(c, d, [&](const std::vector<int>& subset) {
+    Replica rep;
+    for (int j : subset) {
+      rep.mask |= positions_mask(k, chunks[static_cast<std::size_t>(j)].first,
+                                 chunks[static_cast<std::size_t>(j)].second);
+    }
+    rep.order.resize(spectrum.size());
+    for (std::size_t i = 0; i < spectrum.size(); ++i) {
+      rep.order[i] = static_cast<std::uint32_t>(i);
+    }
+    const seq::KmerCode keep = ~rep.mask;
+    std::sort(rep.order.begin(), rep.order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return (spectrum.code_at(a) & keep) <
+                       (spectrum.code_at(b) & keep);
+              });
+    replicas_.push_back(std::move(rep));
+  });
+}
+
+void MaskedSortIndex::for_each_neighbor(seq::KmerCode code,
+                                        const NeighborVisitor& visit) const {
+  // Collect candidate spectrum indices from every replica, then
+  // deduplicate (a neighbor whose mutated positions span fewer than d
+  // chunks collides in several replicas).
+  std::vector<std::uint32_t> hits;
+  for (const auto& rep : replicas_) {
+    const seq::KmerCode keep = ~rep.mask;
+    const seq::KmerCode key = code & keep;
+    auto cmp_lo = [&](std::uint32_t idx, seq::KmerCode value) {
+      return (spectrum_->code_at(idx) & keep) < value;
+    };
+    auto it = std::lower_bound(rep.order.begin(), rep.order.end(), key,
+                               cmp_lo);
+    for (; it != rep.order.end() &&
+           (spectrum_->code_at(*it) & keep) == key;
+         ++it) {
+      const seq::KmerCode cand = spectrum_->code_at(*it);
+      const int hd = seq::kmer_hamming(cand, code);
+      if (hd >= 1 && hd <= d_) hits.push_back(*it);
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  for (const std::uint32_t idx : hits) {
+    visit(spectrum_->code_at(idx), idx);
+  }
+}
+
+std::size_t MaskedSortIndex::memory_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& rep : replicas_) {
+    bytes += rep.order.size() * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace ngs::kspec

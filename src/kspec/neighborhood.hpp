@@ -1,0 +1,79 @@
+#pragma once
+// Retrieval of the d-neighborhood N^d of a kmer within the spectrum —
+// the central data-structure question of Sec. 2.3. Two exact strategies:
+//
+// 1. CandidateEnumerator: enumerate the complete d-neighborhood N^dc
+//    (sum_{e<=d} C(k,e)3^e candidates) and binary-search each in the
+//    sorted spectrum. O(C(k,d) 4^d log |R^k|) per query, zero extra
+//    memory.
+//
+// 2. MaskedSortIndex: the paper's replica structure. Split the k
+//    positions into c > d chunks; for each of the C(c,d) chunk subsets,
+//    keep the spectrum order sorted by the code with those chunks masked
+//    to zero. Any kmer within Hamming distance d differs in at most d
+//    positions, which fall inside at most d chunks, so it collides with
+//    the query in at least one replica. A query is C(c,d) binary searches
+//    plus a Hamming filter over the collision runs; with typical spectrum
+//    densities each run is O(1), giving the paper's ~constant expected
+//    time per neighbor.
+//
+// bench_ablation_neighborhood measures the trade-off between the two.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "kspec/kspectrum.hpp"
+#include "seq/kmer.hpp"
+
+namespace ngs::kspec {
+
+/// Visitor receives (neighbor_code, spectrum_index).
+using NeighborVisitor =
+    std::function<void(seq::KmerCode, std::size_t)>;
+
+/// Strategy 1: complete-neighborhood enumeration + binary search.
+class CandidateEnumerator {
+ public:
+  explicit CandidateEnumerator(const KSpectrum& spectrum)
+      : spectrum_(&spectrum) {}
+
+  /// Visits every kmer in the spectrum within Hamming distance [1, d] of
+  /// `code` (the kmer itself is not visited).
+  void for_each_neighbor(seq::KmerCode code, int d,
+                         const NeighborVisitor& visit) const;
+
+ private:
+  const KSpectrum* spectrum_;
+  mutable std::vector<seq::KmerCode> scratch_;
+};
+
+/// Strategy 2: masked-sort replicas (Sec. 2.3, steps a-c).
+class MaskedSortIndex {
+ public:
+  /// Builds C(c,d) sorted replicas over the spectrum. Requires d < c <= k.
+  MaskedSortIndex(const KSpectrum& spectrum, int c, int d);
+
+  int d() const noexcept { return d_; }
+  std::size_t num_replicas() const noexcept { return replicas_.size(); }
+
+  /// Visits every spectrum kmer within Hamming distance [1, d] of `code`.
+  /// Exact: each neighbor is reported exactly once.
+  void for_each_neighbor(seq::KmerCode code,
+                         const NeighborVisitor& visit) const;
+
+  /// Memory consumed by the replica permutations, in bytes.
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct Replica {
+    seq::KmerCode mask = 0;  // bits cleared before comparison
+    std::vector<std::uint32_t> order;  // spectrum indices sorted by masked code
+  };
+
+  const KSpectrum* spectrum_;
+  int d_;
+  std::vector<Replica> replicas_;
+};
+
+}  // namespace ngs::kspec

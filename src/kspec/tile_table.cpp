@@ -1,0 +1,101 @@
+#include "kspec/tile_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "seq/alphabet.hpp"
+
+namespace ngs::kspec {
+namespace {
+
+/// Appends packed tile codes of one oriented sequence. `quality` may be
+/// empty (then every instance is high quality when Qc == 0 is in force).
+void extract_tiles(std::string_view bases,
+                   const std::vector<std::uint8_t>& quality,
+                   const TileParams& params,
+                   std::vector<seq::KmerCode>& all,
+                   std::vector<seq::KmerCode>& high_quality) {
+  const int tl = params.tile_length();
+  if (bases.size() < static_cast<std::size_t>(tl)) return;
+  const seq::KmerCode mask =
+      tl == 32 ? ~seq::KmerCode{0} : ((seq::KmerCode{1} << (2 * tl)) - 1);
+  seq::KmerCode code = 0;
+  int valid = 0;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    const std::uint8_t b = seq::base_to_code(bases[i]);
+    if (b == seq::kInvalidBase) {
+      valid = 0;
+      code = 0;
+      continue;
+    }
+    code = ((code << 2) | b) & mask;
+    if (++valid >= tl) {
+      all.push_back(code);
+      bool hq = true;
+      if (params.quality_cutoff > 0 && !quality.empty()) {
+        const std::size_t start = i + 1 - static_cast<std::size_t>(tl);
+        for (std::size_t j = start; j <= i; ++j) {
+          if (quality[j] < params.quality_cutoff) {
+            hq = false;
+            break;
+          }
+        }
+      }
+      if (hq) high_quality.push_back(code);
+    }
+  }
+}
+
+}  // namespace
+
+TileTable TileTable::build(const seq::ReadSet& reads,
+                           const TileParams& params) {
+  if (params.tile_length() > seq::kMaxK || params.overlap >= params.k ||
+      params.overlap < 0) {
+    throw std::invalid_argument("TileTable: invalid k/overlap combination");
+  }
+  std::vector<seq::KmerCode> all, hq;
+  for (const auto& r : reads.reads) {
+    extract_tiles(r.bases, r.quality, params, all, hq);
+    if (params.both_strands) {
+      const std::string rc = seq::reverse_complement(r.bases);
+      std::vector<std::uint8_t> rq(r.quality.rbegin(), r.quality.rend());
+      extract_tiles(rc, rq, params, all, hq);
+    }
+  }
+  std::sort(all.begin(), all.end());
+  std::sort(hq.begin(), hq.end());
+
+  TileTable table;
+  table.params_ = params;
+  std::size_t h = 0;
+  for (std::size_t i = 0; i < all.size();) {
+    std::size_t j = i;
+    while (j < all.size() && all[j] == all[i]) ++j;
+    std::size_t h_end = h;
+    while (h_end < hq.size() && hq[h_end] == all[i]) ++h_end;
+    table.codes_.push_back(all[i]);
+    table.oc_.push_back(static_cast<std::uint32_t>(j - i));
+    table.og_.push_back(static_cast<std::uint32_t>(h_end - h));
+    h = h_end;
+    i = j;
+  }
+  return table;
+}
+
+TileTable::Counts TileTable::counts(seq::KmerCode tile) const noexcept {
+  const auto it = std::lower_bound(codes_.begin(), codes_.end(), tile);
+  if (it == codes_.end() || *it != tile) return {};
+  const auto i = static_cast<std::size_t>(it - codes_.begin());
+  return {oc_[i], og_[i]};
+}
+
+util::Histogram TileTable::og_histogram() const {
+  util::Histogram h;
+  for (const std::uint32_t og : og_) {
+    h.add(static_cast<std::int64_t>(og));
+  }
+  return h;
+}
+
+}  // namespace ngs::kspec

@@ -1,0 +1,66 @@
+#pragma once
+// Tile occurrence table (Sec. 2.2-2.3): a tile is the l-concatenation of
+// two adjacent kmers of a read, t = a1 ||_l a2, |t| = 2k - l <= 32. For
+// every distinct tile the table records
+//   Oc — its total multiplicity in R (both strands), and
+//   Og — the multiplicity counting only instances in which every base has
+//        quality score >= Qc (Og = Oc when quality is unavailable).
+// Algorithm 1 (tile correction) bases all decisions on Og.
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/kmer.hpp"
+#include "seq/read.hpp"
+#include "util/stats.hpp"
+
+namespace ngs::kspec {
+
+struct TileParams {
+  int k = 12;
+  int overlap = 0;          // l; tile length = 2k - l
+  int quality_cutoff = 0;   // Qc; 0 disables the quality filter
+  bool both_strands = true;
+
+  int tile_length() const noexcept { return 2 * k - overlap; }
+};
+
+class TileTable {
+ public:
+  TileTable() = default;
+
+  static TileTable build(const seq::ReadSet& reads, const TileParams& params);
+
+  struct Counts {
+    std::uint32_t oc = 0;
+    std::uint32_t og = 0;
+  };
+
+  const TileParams& params() const noexcept { return params_; }
+  int tile_length() const noexcept { return params_.tile_length(); }
+  std::size_t size() const noexcept { return codes_.size(); }
+
+  /// Occurrence counts of a packed tile code (zeros if absent).
+  Counts counts(seq::KmerCode tile) const noexcept;
+
+  std::uint32_t og(seq::KmerCode tile) const noexcept {
+    return counts(tile).og;
+  }
+
+  /// Histogram of high-quality multiplicities Og over distinct tiles —
+  /// the input to Reptile's data-driven choice of Cg and Cm.
+  util::Histogram og_histogram() const;
+
+  seq::KmerCode code_at(std::size_t i) const noexcept { return codes_[i]; }
+  Counts counts_at(std::size_t i) const noexcept {
+    return {oc_[i], og_[i]};
+  }
+
+ private:
+  TileParams params_;
+  std::vector<seq::KmerCode> codes_;  // sorted distinct tile codes
+  std::vector<std::uint32_t> oc_;
+  std::vector<std::uint32_t> og_;
+};
+
+}  // namespace ngs::kspec

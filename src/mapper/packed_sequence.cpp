@@ -1,0 +1,50 @@
+#include "mapper/packed_sequence.hpp"
+
+#include "seq/alphabet.hpp"
+
+namespace ngs::mapper {
+
+PackedSequence::PackedSequence(std::string_view s) : size_(s.size()) {
+  words_.assign(size_ / 32 + 2, 0);  // +2: window() may read one past
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::uint8_t b = seq::base_to_code(s[i]);
+    const std::uint64_t code = b == seq::kInvalidBase ? 0u : b;
+    words_[i >> 5] |= code << (2 * (i & 31));
+  }
+}
+
+std::uint64_t PackedSequence::window(std::size_t pos) const noexcept {
+  const std::size_t w = pos >> 5;
+  const unsigned shift = 2 * (pos & 31);
+  std::uint64_t lo = words_[w] >> shift;
+  if (shift != 0) lo |= words_[w + 1] << (64 - shift);
+  return lo;
+}
+
+int PackedSequence::mismatches(std::size_t pos,
+                               const std::vector<std::uint64_t>& other_words,
+                               std::size_t len, int cap) const noexcept {
+  int mm = 0;
+  std::size_t done = 0;
+  for (std::size_t w = 0; done < len; ++w, done += 32) {
+    const std::size_t chunk = std::min<std::size_t>(32, len - done);
+    std::uint64_t x = window(pos + done) ^ other_words[w];
+    if (chunk < 32) x &= (std::uint64_t{1} << (2 * chunk)) - 1;
+    x = (x | (x >> 1)) & 0x5555555555555555ULL;
+    mm += __builtin_popcountll(x);
+    if (mm > cap) return mm;
+  }
+  return mm;
+}
+
+std::vector<std::uint64_t> PackedSequence::pack_words(std::string_view s) {
+  std::vector<std::uint64_t> words(s.size() / 32 + 1, 0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::uint8_t b = seq::base_to_code(s[i]);
+    const std::uint64_t code = b == seq::kInvalidBase ? 0u : b;
+    words[i >> 5] |= code << (2 * (i & 31));
+  }
+  return words;
+}
+
+}  // namespace ngs::mapper

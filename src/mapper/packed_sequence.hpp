@@ -1,0 +1,44 @@
+#pragma once
+// 2-bit packed long sequence with O(1) extraction of 32-base windows —
+// the verification substrate of the mismatch mapper: Hamming distance of
+// a read against a genome window costs ~L/32 XOR+popcount operations.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ngs::mapper {
+
+class PackedSequence {
+ public:
+  PackedSequence() = default;
+
+  /// Packs the sequence; ambiguous characters are stored as 'A'.
+  explicit PackedSequence(std::string_view s);
+
+  std::size_t size() const noexcept { return size_; }
+
+  std::uint8_t base(std::size_t i) const noexcept {
+    return static_cast<std::uint8_t>((words_[i >> 5] >> (2 * (i & 31))) & 3u);
+  }
+
+  /// 32 bases starting at pos, packed LSB-first (base pos in bits 0..1).
+  /// Positions past the end read as zero.
+  std::uint64_t window(std::size_t pos) const noexcept;
+
+  /// Number of mismatching bases between this sequence's window
+  /// [pos, pos+len) and `other_words` (packed LSB-first, length `len`).
+  /// Early-exits once the count exceeds `cap`.
+  int mismatches(std::size_t pos, const std::vector<std::uint64_t>& other_words,
+                 std::size_t len, int cap) const noexcept;
+
+  /// Packs an ASCII read into LSB-first words for use with mismatches().
+  static std::vector<std::uint64_t> pack_words(std::string_view s);
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ngs::mapper

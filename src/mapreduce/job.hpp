@@ -1,0 +1,228 @@
+#pragma once
+// A miniature in-process MapReduce runtime (Sec. 1.3.1 / 4.4): typed
+// map and reduce functions, hash partitioning, a sort-based shuffle,
+// thread-pool execution, per-stage counters/timings, and Hadoop-style
+// task retry under (simulated) task failure.
+//
+// CLOSET's eight tasks (Sec. 4.4) run on this engine; the per-stage
+// wall times populate Table 4.3 and the record counters Table 4.2.
+//
+// Semantics mirror Hadoop:
+//  - map(key, value, emitter) runs once per input record; tasks are
+//    independent and idempotent (a failed task is re-executed from its
+//    input split, discarding partial output);
+//  - all values sharing a key are passed to one reduce(key, values,
+//    emitter) call, with keys processed in sorted order within each
+//    reducer partition;
+//  - output order is deterministic: reducer partitions in index order,
+//    keys sorted within each.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace ngs::mapreduce {
+
+struct JobCounters {
+  std::uint64_t map_input_records = 0;
+  std::uint64_t map_output_records = 0;
+  std::uint64_t reduce_input_groups = 0;
+  std::uint64_t reduce_output_records = 0;
+  std::uint64_t map_task_attempts = 0;
+  std::uint64_t map_task_failures = 0;
+  double map_seconds = 0.0;
+  double shuffle_seconds = 0.0;
+  double reduce_seconds = 0.0;
+
+  void merge(const JobCounters& o) {
+    map_input_records += o.map_input_records;
+    map_output_records += o.map_output_records;
+    reduce_input_groups += o.reduce_input_groups;
+    reduce_output_records += o.reduce_output_records;
+    map_task_attempts += o.map_task_attempts;
+    map_task_failures += o.map_task_failures;
+    map_seconds += o.map_seconds;
+    shuffle_seconds += o.shuffle_seconds;
+    reduce_seconds += o.reduce_seconds;
+  }
+};
+
+struct JobConfig {
+  std::size_t num_map_tasks = 0;  // 0 = 4x pool size
+  std::size_t num_reducers = 8;
+  /// Simulated per-map-task failure probability (Hadoop fault tolerance
+  /// demonstration; failed tasks are retried from their split).
+  double task_failure_rate = 0.0;
+  int max_task_attempts = 3;
+  std::uint64_t failure_seed = 0x5eed;
+};
+
+/// Raised when a map task exhausts its retry budget.
+class TaskFailedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Collects intermediate (K, V) pairs from a mapper or reducer.
+template <typename K, typename V>
+class Emitter {
+ public:
+  void emit(K key, V value) {
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+
+ private:
+  std::vector<std::pair<K, V>> pairs_;
+};
+
+/// Simulated task failure signal (distinct from user exceptions so retry
+/// logic only retries injected faults, not bugs).
+struct InjectedTaskFault {};
+
+template <typename IK, typename IV, typename MK, typename MV, typename OK,
+          typename OV, typename Hash = std::hash<MK>>
+class Job {
+ public:
+  using MapFn = std::function<void(const IK&, const IV&, Emitter<MK, MV>&)>;
+  using ReduceFn =
+      std::function<void(const MK&, std::span<const MV>, Emitter<OK, OV>&)>;
+
+  /// Runs the job over `input`; returns the reduce output.
+  static std::vector<std::pair<OK, OV>> run(
+      const std::vector<std::pair<IK, IV>>& input, const MapFn& map_fn,
+      const ReduceFn& reduce_fn, const JobConfig& config = {},
+      JobCounters* counters = nullptr) {
+    JobCounters local;
+    const std::size_t R = std::max<std::size_t>(1, config.num_reducers);
+    auto& pool = util::default_pool();
+    const std::size_t T =
+        config.num_map_tasks != 0
+            ? config.num_map_tasks
+            : std::max<std::size_t>(1, pool.size() * 4);
+
+    // ---- Map phase: each task maps one input split into R partitions.
+    util::Timer map_timer;
+    const std::size_t num_tasks = std::min(T, std::max<std::size_t>(1, input.size()));
+    std::vector<std::vector<std::vector<std::pair<MK, MV>>>> task_parts(
+        num_tasks);
+    std::atomic<std::uint64_t> attempts{0}, failures{0},
+        out_records{0};
+    const std::size_t split =
+        (input.size() + num_tasks - 1) / std::max<std::size_t>(1, num_tasks);
+
+    pool.parallel_for(0, num_tasks, [&](std::size_t task) {
+      const std::size_t lo = task * split;
+      const std::size_t hi = std::min(input.size(), lo + split);
+      util::Rng fault_rng(config.failure_seed ^ (task * 0x9e3779b9ULL));
+      for (int attempt = 0;; ++attempt) {
+        attempts.fetch_add(1, std::memory_order_relaxed);
+        try {
+          std::vector<std::vector<std::pair<MK, MV>>> parts(R);
+          Emitter<MK, MV> emitter;
+          // Inject a fault for this attempt before doing the work, so the
+          // retry reproduces the full split deterministically.
+          if (config.task_failure_rate > 0.0 &&
+              fault_rng.bernoulli(config.task_failure_rate)) {
+            throw InjectedTaskFault{};
+          }
+          for (std::size_t i = lo; i < hi; ++i) {
+            map_fn(input[i].first, input[i].second, emitter);
+          }
+          Hash hasher;
+          for (auto& kv : emitter.pairs()) {
+            parts[hasher(kv.first) % R].push_back(std::move(kv));
+          }
+          out_records.fetch_add(emitter.pairs().size(),
+                                std::memory_order_relaxed);
+          task_parts[task] = std::move(parts);
+          return;
+        } catch (const InjectedTaskFault&) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          if (attempt + 1 >= config.max_task_attempts) {
+            throw TaskFailedError("map task exceeded retry budget");
+          }
+        }
+      }
+    });
+    local.map_seconds = map_timer.seconds();
+    local.map_input_records = input.size();
+    local.map_output_records = out_records.load();
+    local.map_task_attempts = attempts.load();
+    local.map_task_failures = failures.load();
+
+    // ---- Shuffle: gather per-reducer partitions and sort by key.
+    util::Timer shuffle_timer;
+    std::vector<std::vector<std::pair<MK, MV>>> buckets(R);
+    {
+      // Pre-size to avoid reallocation churn.
+      std::vector<std::size_t> sizes(R, 0);
+      for (const auto& parts : task_parts) {
+        for (std::size_t r = 0; r < parts.size(); ++r) {
+          sizes[r] += parts[r].size();
+        }
+      }
+      for (std::size_t r = 0; r < R; ++r) buckets[r].reserve(sizes[r]);
+      for (auto& parts : task_parts) {
+        for (std::size_t r = 0; r < parts.size(); ++r) {
+          for (auto& kv : parts[r]) buckets[r].push_back(std::move(kv));
+        }
+        parts.clear();
+      }
+    }
+    pool.parallel_for(0, R, [&](std::size_t r) {
+      std::stable_sort(buckets[r].begin(), buckets[r].end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+    });
+    local.shuffle_seconds = shuffle_timer.seconds();
+
+    // ---- Reduce phase.
+    util::Timer reduce_timer;
+    std::vector<std::vector<std::pair<OK, OV>>> outputs(R);
+    std::atomic<std::uint64_t> groups{0};
+    pool.parallel_for(0, R, [&](std::size_t r) {
+      Emitter<OK, OV> emitter;
+      auto& bucket = buckets[r];
+      std::vector<MV> values;
+      std::size_t i = 0;
+      while (i < bucket.size()) {
+        std::size_t j = i;
+        values.clear();
+        while (j < bucket.size() && !(bucket[i].first < bucket[j].first) &&
+               !(bucket[j].first < bucket[i].first)) {
+          values.push_back(std::move(bucket[j].second));
+          ++j;
+        }
+        reduce_fn(bucket[i].first, values, emitter);
+        groups.fetch_add(1, std::memory_order_relaxed);
+        i = j;
+      }
+      outputs[r] = std::move(emitter.pairs());
+    });
+    local.reduce_seconds = reduce_timer.seconds();
+    local.reduce_input_groups = groups.load();
+
+    std::vector<std::pair<OK, OV>> result;
+    std::size_t total = 0;
+    for (const auto& o : outputs) total += o.size();
+    result.reserve(total);
+    for (auto& o : outputs) {
+      for (auto& kv : o) result.push_back(std::move(kv));
+    }
+    local.reduce_output_records = result.size();
+    if (counters != nullptr) counters->merge(local);
+    return result;
+  }
+};
+
+}  // namespace ngs::mapreduce

@@ -1,0 +1,98 @@
+#include "redeem/corrector.hpp"
+
+#include <algorithm>
+
+#include "seq/alphabet.hpp"
+#include "seq/kmer.hpp"
+#include "util/thread_pool.hpp"
+
+#include <mutex>
+
+namespace ngs::redeem {
+
+RedeemCorrector::RedeemCorrector(const RedeemModel& model,
+                                 RedeemCorrectorParams params)
+    : model_(&model), params_(params), flag_threshold_(params.flag_threshold) {
+  if (flag_threshold_ <= 0.0) {
+    // Auto: half the mean estimated attempts — liberal enough to catch
+    // every read plausibly containing an error without inspecting all.
+    const auto& t = model.estimates();
+    double sum = 0.0;
+    for (const double v : t) sum += v;
+    flag_threshold_ =
+        t.empty() ? 1.0 : 0.5 * sum / static_cast<double>(t.size());
+  }
+}
+
+seq::Read RedeemCorrector::correct(const seq::Read& read,
+                                   RedeemCorrectionStats& stats) const {
+  const int k = model_->spectrum().k();
+  seq::Read out = read;
+  if (read.bases.size() < static_cast<std::size_t>(k)) return out;
+
+  std::vector<std::pair<seq::KmerCode, std::uint32_t>> kmers;
+  seq::extract_kmers(read.bases, k, kmers);
+  if (kmers.empty()) return out;
+
+  // Flag pass: any covering kmer with low estimated attempts?
+  bool flagged = false;
+  std::vector<std::int64_t> indices(kmers.size());
+  for (std::size_t i = 0; i < kmers.size(); ++i) {
+    indices[i] = model_->spectrum().index_of(kmers[i].first);
+    if (indices[i] >= 0 &&
+        model_->estimates()[static_cast<std::size_t>(indices[i])] <
+            flag_threshold_) {
+      flagged = true;
+    }
+  }
+  if (!flagged) return out;
+  ++stats.reads_flagged;
+
+  // Aggregate per-position posteriors from all covering kmers.
+  std::vector<std::array<double, 4>> acc(read.bases.size(),
+                                         std::array<double, 4>{});
+  for (std::size_t i = 0; i < kmers.size(); ++i) {
+    if (indices[i] < 0) continue;
+    model_->accumulate_posteriors(static_cast<std::size_t>(indices[i]), acc,
+                                  kmers[i].second);
+  }
+
+  for (std::size_t p = 0; p < out.bases.size(); ++p) {
+    const std::uint8_t current = seq::base_to_code(out.bases[p]);
+    if (current == seq::kInvalidBase) continue;
+    const auto& pi = acc[p];
+    int best = 0;
+    for (int b = 1; b < 4; ++b) {
+      if (pi[static_cast<std::size_t>(b)] >
+          pi[static_cast<std::size_t>(best)]) {
+        best = b;
+      }
+    }
+    if (best != current &&
+        pi[static_cast<std::size_t>(best)] >
+            params_.posterior_margin * pi[current]) {
+      out.bases[p] = seq::code_to_base(static_cast<std::uint8_t>(best));
+      ++stats.bases_changed;
+    }
+  }
+  return out;
+}
+
+std::vector<seq::Read> RedeemCorrector::correct_all(
+    const seq::ReadSet& reads, RedeemCorrectionStats& stats) const {
+  std::vector<seq::Read> out(reads.reads.size());
+  std::mutex stats_mutex;
+  util::default_pool().parallel_for_blocked(
+      0, reads.reads.size(), [&](std::size_t lo, std::size_t hi) {
+        RedeemCorrectionStats local;
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = correct(reads.reads[i], local);
+        }
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        stats.reads_flagged += local.reads_flagged;
+        stats.bases_changed += local.bases_changed;
+      });
+  return out;
+}
+
+}  // namespace ngs::redeem

@@ -1,0 +1,45 @@
+#pragma once
+// REDEEM error correction (Sec. 3.3): for reads likely to contain an
+// erroneous kmer (flagged with a liberal threshold on the estimated
+// attempts T), every position aggregates the posterior true-base
+// distribution pi(b) across the kmers covering it; a position whose
+// argmax differs from the read base is corrected.
+
+#include <cstdint>
+#include <vector>
+
+#include "redeem/em_model.hpp"
+#include "seq/read.hpp"
+
+namespace ngs::redeem {
+
+struct RedeemCorrectorParams {
+  /// A read is inspected iff it contains a kmer with T below this.
+  double flag_threshold = 0.0;  // 0 = auto: half the mean T of valid-looking kmers
+  /// Minimum posterior margin: correct only if pi(best) >= margin * pi(current).
+  double posterior_margin = 1.2;
+};
+
+struct RedeemCorrectionStats {
+  std::uint64_t reads_flagged = 0;
+  std::uint64_t bases_changed = 0;
+};
+
+class RedeemCorrector {
+ public:
+  RedeemCorrector(const RedeemModel& model, RedeemCorrectorParams params);
+
+  seq::Read correct(const seq::Read& read, RedeemCorrectionStats& stats) const;
+
+  std::vector<seq::Read> correct_all(const seq::ReadSet& reads,
+                                     RedeemCorrectionStats& stats) const;
+
+  double flag_threshold() const noexcept { return flag_threshold_; }
+
+ private:
+  const RedeemModel* model_;
+  RedeemCorrectorParams params_;
+  double flag_threshold_;
+};
+
+}  // namespace ngs::redeem

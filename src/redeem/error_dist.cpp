@@ -1,0 +1,26 @@
+#include "redeem/error_dist.hpp"
+
+namespace ngs::redeem {
+
+std::vector<sim::MisreadMatrix> kmer_error_matrices(
+    ErrorDistKind kind, int k, const sim::ErrorModel& true_model,
+    double wrong_rate) {
+  const std::size_t L = true_model.read_length();
+  switch (kind) {
+    case ErrorDistKind::kTrueIllumina:
+      return true_model.kmer_position_matrices(k);
+    case ErrorDistKind::kWrongIllumina:
+      return sim::ErrorModel::illumina_alternate(
+                 L, true_model.average_error_rate())
+          .kmer_position_matrices(k);
+    case ErrorDistKind::kTrueUniform:
+      return sim::ErrorModel::uniform(L, true_model.average_error_rate())
+          .kmer_position_matrices(k);
+    case ErrorDistKind::kWrongUniform:
+      return sim::ErrorModel::uniform(L, wrong_rate)
+          .kmer_position_matrices(k);
+  }
+  return {};
+}
+
+}  // namespace ngs::redeem

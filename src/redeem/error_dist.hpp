@@ -1,0 +1,38 @@
+#pragma once
+// The four error-distribution hypotheses tested in Sec. 3.4.2:
+//   tIED — the "true" Illumina error distribution (matches the simulator),
+//   wIED — a wrong Illumina distribution (a different lab/organism),
+//   tUED — uniform errors at the true average rate,
+//   wUED — uniform errors at a wrong (inflated) rate.
+// Each yields per-kmer-position misread matrices q_i(a,b) for REDEEM.
+
+#include <string>
+#include <vector>
+
+#include "sim/error_model.hpp"
+
+namespace ngs::redeem {
+
+enum class ErrorDistKind { kTrueIllumina, kWrongIllumina, kTrueUniform,
+                           kWrongUniform };
+
+inline const char* to_string(ErrorDistKind kind) {
+  switch (kind) {
+    case ErrorDistKind::kTrueIllumina: return "tIED";
+    case ErrorDistKind::kWrongIllumina: return "wIED";
+    case ErrorDistKind::kTrueUniform: return "tUED";
+    case ErrorDistKind::kWrongUniform: return "wUED";
+  }
+  return "?";
+}
+
+/// Builds q_i(a,b) (i in [0,k)) for the given hypothesis.
+/// `true_model` is the model the reads were actually generated with (used
+/// verbatim for tIED; its average rate parameterizes tUED).
+/// `wrong_rate` parameterizes wUED (the paper uses pe = 0.02 against a
+/// true 0.006).
+std::vector<sim::MisreadMatrix> kmer_error_matrices(
+    ErrorDistKind kind, int k, const sim::ErrorModel& true_model,
+    double wrong_rate = 0.02);
+
+}  // namespace ngs::redeem

@@ -1,0 +1,29 @@
+#include "redeem/hybrid.hpp"
+
+#include "kspec/kspectrum.hpp"
+
+namespace ngs::redeem {
+
+HybridCorrector::HybridCorrector(const std::vector<sim::MisreadMatrix>& q,
+                                 HybridParams params)
+    : q_(q), params_(std::move(params)) {}
+
+std::vector<seq::Read> HybridCorrector::correct_all(
+    const seq::ReadSet& reads, HybridStats& stats) const {
+  // Stage 1: REDEEM posterior correction.
+  const auto spectrum = kspec::KSpectrum::build(reads, params_.redeem_k,
+                                                /*both_strands=*/false);
+  const RedeemModel model(spectrum, q_, params_.em);
+  const RedeemCorrector redeem_corrector(model, params_.redeem_corrector);
+  auto intermediate_reads = redeem_corrector.correct_all(reads, stats.redeem);
+
+  // Stage 2: Reptile over the cleaned reads. Quality scores are carried
+  // through unchanged (REDEEM does not alter them).
+  seq::ReadSet intermediate;
+  intermediate.reads = std::move(intermediate_reads);
+  const reptile::ReptileCorrector reptile_corrector(intermediate,
+                                                    params_.reptile);
+  return reptile_corrector.correct_all(intermediate, stats.reptile);
+}
+
+}  // namespace ngs::redeem

@@ -1,0 +1,53 @@
+#pragma once
+// The combination Sec. 3.5 proposes as future work: "combine the
+// features of a conventional error correction method such as Reptile
+// with the explicit modeling of repeats as done in REDEEM to produce an
+// error-correction method that is superior both when sampling low repeat
+// and highly-repetitive genomes."
+//
+// Stage 1 — REDEEM: EM over the misread graph fixes errors in repeat
+// shadows, where Reptile's occurrence thresholds cannot distinguish a
+// repeated misread from a low-copy genomic variant.
+// Stage 2 — Reptile: rebuilt from the stage-1 output (the cleaned reads
+// sharpen the tile table), its contextual tiling then corrects the
+// unique-region errors REDEEM's posterior leaves behind.
+
+#include <vector>
+
+#include "redeem/corrector.hpp"
+#include "redeem/em_model.hpp"
+#include "reptile/corrector.hpp"
+#include "seq/read.hpp"
+#include "sim/error_model.hpp"
+
+namespace ngs::redeem {
+
+struct HybridParams {
+  int redeem_k = 11;
+  RedeemParams em;
+  RedeemCorrectorParams redeem_corrector;
+  reptile::ReptileParams reptile;
+};
+
+struct HybridStats {
+  RedeemCorrectionStats redeem;
+  reptile::CorrectionStats reptile;
+};
+
+class HybridCorrector {
+ public:
+  /// `q` are the kmer-position misread matrices for the REDEEM stage
+  /// (see kmer_error_matrices).
+  HybridCorrector(const std::vector<sim::MisreadMatrix>& q,
+                  HybridParams params);
+
+  /// Runs both stages over the read set.
+  std::vector<seq::Read> correct_all(const seq::ReadSet& reads,
+                                     HybridStats& stats) const;
+
+ private:
+  std::vector<sim::MisreadMatrix> q_;
+  HybridParams params_;
+};
+
+}  // namespace ngs::redeem

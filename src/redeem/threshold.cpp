@@ -1,0 +1,258 @@
+#include "redeem/threshold.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace ngs::redeem {
+namespace {
+
+constexpr double kEps = 1e-8;
+
+double log_gamma_pdf(double x, double alpha, double beta) {
+  return alpha * std::log(beta) + (alpha - 1.0) * std::log(x) - beta * x -
+         util::log_gamma(alpha);
+}
+
+double log_normal_pdf(double x, double mean, double var) {
+  const double d = x - mean;
+  return -0.5 * (std::log(2.0 * M_PI * var) + d * d / var);
+}
+
+/// Solves ln(a) - digamma(a) = rhs for a > 0 (rhs > 0) by bisection.
+/// The shape is capped: the error component must stay wide enough to
+/// absorb the repeat-shadow tail (T in [1, ~coverage/5]); an unbounded
+/// MLE collapses onto the near-1 spike that Y=1 misreads form and
+/// abandons that tail to the genomic components.
+double solve_gamma_shape(double rhs) {
+  if (!(rhs > 0.0)) return 1.0;
+  double lo = 1e-3, hi = 8.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = std::sqrt(lo * hi);
+    const double v = std::log(mid) - util::digamma(mid);
+    // f is decreasing in a.
+    if (v > rhs) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::sqrt(lo * hi);
+}
+
+struct FitResult {
+  MixtureFit fit;
+  bool valid = false;
+};
+
+FitResult fit_for_g(const std::vector<double>& values, int G,
+                    const MixtureParams& params) {
+  const std::size_t n = values.size();
+  const int C = G + 2;  // gamma + G normals + uniform
+  const double max_t = *std::max_element(values.begin(), values.end());
+
+  // Initialization from quantiles. Erroneous kmers dominate the
+  // *distinct*-kmer count (most distinct kmers are one-off misreads), so
+  // the error peak sits at the lower quartile while the genomic
+  // (alpha=1) peak is found in the top decile of values.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double low_med = sorted[n / 4];
+  // Genomic-peak guess: the median of values clear of the error mass.
+  const double cutoff = std::max(1.0, 3.0 * low_med);
+  const auto first_clear =
+      std::lower_bound(sorted.begin(), sorted.end(), cutoff);
+  double genomic_peak = sorted[(3 * n) / 4];
+  if (first_clear != sorted.end()) {
+    const auto clear_count =
+        static_cast<std::size_t>(sorted.end() - first_clear);
+    genomic_peak = *(first_clear + static_cast<std::ptrdiff_t>(
+                                       clear_count / 2));
+  }
+  genomic_peak = std::max(genomic_peak, 1.0);
+
+  MixtureFit fit;
+  fit.num_normals = G;
+  fit.alpha = 1.2;
+  fit.beta = fit.alpha / std::max(kEps, low_med);
+  // mu p/(1-p) = first genomic peak; pick p = 0.5 initially.
+  double theta = genomic_peak;  // theta = mu p / (1-p)
+  fit.p = 0.5;
+  fit.mu = theta * (1.0 - fit.p) / fit.p;
+  fit.weights.assign(static_cast<std::size_t>(C), 1.0 / C);
+
+  std::vector<double> log_comp(static_cast<std::size_t>(C));
+  std::vector<std::vector<double>> resp(
+      static_cast<std::size_t>(C), std::vector<double>(n));
+
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    fit.iterations = iter + 1;
+    theta = fit.mu * fit.p / (1.0 - fit.p);
+    const double var_scale = theta / (1.0 - fit.p);  // sigma_g^2 = g*var_scale
+
+    // E-step.
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = std::max(values[i], kEps);
+      log_comp[0] = std::log(std::max(fit.weights[0], kEps)) +
+                    log_gamma_pdf(x, fit.alpha, fit.beta);
+      for (int g = 1; g <= G; ++g) {
+        log_comp[static_cast<std::size_t>(g)] =
+            std::log(std::max(fit.weights[static_cast<std::size_t>(g)],
+                              kEps)) +
+            log_normal_pdf(x, g * theta, std::max(kEps, g * var_scale));
+      }
+      log_comp[static_cast<std::size_t>(C - 1)] =
+          std::log(std::max(fit.weights[static_cast<std::size_t>(C - 1)],
+                            kEps)) -
+          std::log(std::max(max_t, kEps));
+      const double lse = util::log_sum_exp(log_comp);
+      ll += lse;
+      for (int c = 0; c < C; ++c) {
+        resp[static_cast<std::size_t>(c)][i] =
+            std::exp(log_comp[static_cast<std::size_t>(c)] - lse);
+      }
+    }
+    fit.log_likelihood = ll;
+
+    // M-step: weights.
+    std::vector<double> ng(static_cast<std::size_t>(C), 0.0);
+    for (int c = 0; c < C; ++c) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ng[static_cast<std::size_t>(c)] += resp[static_cast<std::size_t>(c)][i];
+      }
+      fit.weights[static_cast<std::size_t>(c)] =
+          ng[static_cast<std::size_t>(c)] / static_cast<double>(n);
+    }
+
+    // Gamma component: weighted MLE via ln(a) - psi(a).
+    if (ng[0] > kEps) {
+      double sum_t = 0.0, sum_ln = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = std::max(values[i], kEps);
+        sum_t += resp[0][i] * x;
+        sum_ln += resp[0][i] * std::log(x);
+      }
+      const double mean = sum_t / ng[0];
+      const double mean_ln = sum_ln / ng[0];
+      const double rhs = std::log(mean) - mean_ln;
+      fit.alpha = solve_gamma_shape(rhs);
+      fit.beta = fit.alpha / std::max(kEps, mean);
+    }
+
+    // Normal components: weighted moment matching for (theta, 1-p).
+    double num_theta = 0.0, den_theta = 0.0;
+    for (int g = 1; g <= G; ++g) {
+      for (std::size_t i = 0; i < n; ++i) {
+        num_theta += resp[static_cast<std::size_t>(g)][i] * values[i];
+      }
+      den_theta += g * ng[static_cast<std::size_t>(g)];
+    }
+    if (den_theta > kEps) {
+      const double new_theta = std::max(kEps, num_theta / den_theta);
+      // Pooled variance estimate: sum_g E[(T - g theta)^2 | Zg] / g
+      // targets var_scale = theta / (1-p).
+      double pooled = 0.0, pooled_n = 0.0;
+      for (int g = 1; g <= G; ++g) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = values[i] - g * new_theta;
+          pooled += resp[static_cast<std::size_t>(g)][i] * d * d / g;
+        }
+        pooled_n += ng[static_cast<std::size_t>(g)];
+      }
+      if (pooled_n > kEps) {
+        const double var_s = std::max(new_theta * 0.25, pooled / pooled_n);
+        // var_scale = theta/(1-p) => p = 1 - theta/var_scale.
+        double p_new = 1.0 - new_theta / var_s;
+        p_new = std::clamp(p_new, 0.05, 0.95);
+        fit.p = p_new;
+        fit.mu = new_theta * (1.0 - p_new) / p_new;
+      }
+    }
+
+    if (iter > 0 && std::abs(ll - prev_ll) <=
+                        params.tolerance * (std::abs(prev_ll) + 1.0)) {
+      break;
+    }
+    prev_ll = ll;
+  }
+
+  // BIC: free parameters = (C-1) weights + 2 gamma + 2 NB.
+  const double k_params = static_cast<double>(C - 1 + 4);
+  fit.bic = -2.0 * fit.log_likelihood +
+            k_params * std::log(static_cast<double>(n));
+
+  // Threshold: largest x whose argmax-posterior component is the Gamma.
+  // Scan a fine grid between 0 and the first normal mean.
+  const double theta_final = fit.mu * fit.p / (1.0 - fit.p);
+  const double var_scale = theta_final / (1.0 - fit.p);
+  double boundary = 0.0;
+  const double hi = std::max(theta_final, 1.0);
+  for (int s = 0; s <= 400; ++s) {
+    const double x = std::max(kEps, hi * s / 400.0);
+    const double lg = std::log(std::max(fit.weights[0], kEps)) +
+                      log_gamma_pdf(x, fit.alpha, fit.beta);
+    double best_other = -std::numeric_limits<double>::infinity();
+    for (int g = 1; g <= G; ++g) {
+      best_other = std::max(
+          best_other,
+          std::log(std::max(fit.weights[static_cast<std::size_t>(g)], kEps)) +
+              log_normal_pdf(x, g * theta_final,
+                             std::max(kEps, g * var_scale)));
+    }
+    best_other = std::max(
+        best_other,
+        std::log(std::max(fit.weights[static_cast<std::size_t>(C - 1)],
+                          kEps)) -
+            std::log(std::max(max_t, kEps)));
+    if (lg > best_other) boundary = x;
+  }
+  fit.threshold = boundary;
+  fit.pi_gamma = fit.weights[0];
+
+  FitResult result;
+  result.fit = fit;
+  result.valid = std::isfinite(fit.log_likelihood);
+  return result;
+}
+
+}  // namespace
+
+MixtureFit fit_threshold_mixture(const std::vector<double>& values,
+                                 const MixtureParams& params,
+                                 util::Rng& rng) {
+  if (values.empty()) {
+    throw std::invalid_argument("fit_threshold_mixture: empty input");
+  }
+  // Optional subsample for speed.
+  std::vector<double> sample;
+  if (params.max_values > 0 && values.size() > params.max_values) {
+    sample.reserve(params.max_values);
+    for (std::size_t i = 0; i < params.max_values; ++i) {
+      sample.push_back(values[rng.below(values.size())]);
+    }
+  } else {
+    sample = values;
+  }
+
+  MixtureFit best;
+  bool have = false;
+  for (int g = params.g_min; g <= params.g_max; ++g) {
+    const auto result = fit_for_g(sample, g, params);
+    if (!result.valid) continue;
+    if (!have || result.fit.bic < best.bic) {
+      best = result.fit;
+      have = true;
+    }
+  }
+  if (!have) {
+    throw std::runtime_error("fit_threshold_mixture: no valid fit");
+  }
+  return best;
+}
+
+}  // namespace ngs::redeem

@@ -1,0 +1,56 @@
+#pragma once
+// Model-based threshold inference (Sec. 3.7): the estimated attempts T_l
+// follow a mixture of
+//   - a Gamma(alpha, beta) component for erroneous kmers (alpha_l = 0),
+//   - G Normal components approximating Negative Binomials for genomic
+//     occurrence counts alpha_l = 1..G, with means g*mu*p/(1-p) and
+//     variances g*mu*p/(1-p)^2 (one coverage parameter pair (mu, p)
+//     shared across g),
+//   - a Uniform component over [0, max T] absorbing high-copy repeats.
+// Parameters are fit by EM; the number of normal components G is chosen
+// by BIC. The detection threshold is the largest T still classified
+// (posterior argmax) into the Gamma (error) component.
+//
+// Deviation from the paper: the (mu, p) M-step uses weighted moment
+// matching across the normal components instead of the paper's implicit
+// root equations — same stationary targets, simpler numerics.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ngs::redeem {
+
+struct MixtureFit {
+  int num_normals = 0;         // chosen G
+  double pi_gamma = 0.0;       // weight of the error component
+  double alpha = 0.0;          // Gamma shape
+  double beta = 0.0;           // Gamma rate
+  double mu = 0.0;             // NB mean parameter
+  double p = 0.0;              // NB success parameter
+  std::vector<double> weights; // all component weights (G + 2)
+  double log_likelihood = 0.0;
+  double bic = 0.0;
+  double threshold = 0.0;      // classification boundary
+  int iterations = 0;
+};
+
+struct MixtureParams {
+  int g_min = 1;
+  int g_max = 4;
+  int max_iterations = 80;
+  double tolerance = 1e-7;
+  /// Fit on at most this many values (uniform subsample) for speed;
+  /// 0 = use all.
+  std::size_t max_values = 500000;
+};
+
+/// Fits the mixture for each G in [g_min, g_max], returns the BIC-best
+/// fit. `values` are the estimated T_l (must be non-negative; zeros are
+/// nudged to a small epsilon for the Gamma density).
+MixtureFit fit_threshold_mixture(const std::vector<double>& values,
+                                 const MixtureParams& params,
+                                 util::Rng& rng);
+
+}  // namespace ngs::redeem

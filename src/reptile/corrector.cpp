@@ -1,0 +1,414 @@
+#include "reptile/corrector.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+#include "seq/alphabet.hpp"
+#include "seq/kmer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ngs::reptile {
+namespace {
+
+/// Working copy of the reads with eligible N's converted, used to build
+/// the tables so that spectrum lookups during correction never miss.
+seq::ReadSet preconvert(const seq::ReadSet& reads, const ReptileParams& p) {
+  seq::ReadSet converted;
+  converted.reads = reads.reads;
+  const int w = p.effective_ambig_window();
+  const int amax = p.effective_ambig_max();
+  for (auto& r : converted.reads) {
+    const auto L = static_cast<int>(r.bases.size());
+    const int win = std::min(w, L);
+    if (win <= 0) continue;
+    // Prefix sums of the ambiguity indicator.
+    std::vector<int> prefix(static_cast<std::size_t>(L) + 1, 0);
+    for (int i = 0; i < L; ++i) {
+      prefix[static_cast<std::size_t>(i) + 1] =
+          prefix[static_cast<std::size_t>(i)] +
+          (seq::is_ambiguous(r.bases[static_cast<std::size_t>(i)]) ? 1 : 0);
+    }
+    for (int i = 0; i < L; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      if (!seq::is_ambiguous(r.bases[ui])) continue;
+      const int s_lo = std::max(0, i - win + 1);
+      const int s_hi = std::min(i, L - win);
+      int max_in_window = 0;
+      for (int s = s_lo; s <= s_hi; ++s) {
+        max_in_window =
+            std::max(max_in_window, prefix[static_cast<std::size_t>(s + win)] -
+                                        prefix[static_cast<std::size_t>(s)]);
+      }
+      if (max_in_window <= amax) {
+        r.bases[ui] = p.default_base;
+        if (ui < r.quality.size()) r.quality[ui] = 0;
+      }
+    }
+  }
+  return converted;
+}
+
+kspec::TileParams tile_params_of(const ReptileParams& p) {
+  kspec::TileParams tp;
+  tp.k = p.k;
+  tp.overlap = p.overlap;
+  tp.quality_cutoff = p.quality_cutoff;
+  tp.both_strands = true;
+  return tp;
+}
+
+}  // namespace
+
+ReptileCorrector::ReptileCorrector(const seq::ReadSet& reads,
+                                   ReptileParams params)
+    : params_(params),
+      spectrum_(kspec::KSpectrum::build(preconvert(reads, params), params.k,
+                                        /*both_strands=*/true)),
+      graph_(spectrum_, params.d),
+      tiles_(kspec::TileTable::build(preconvert(reads, params),
+                                     tile_params_of(params))) {
+  if (params_.tile_length() > seq::kMaxK) {
+    throw std::invalid_argument("ReptileCorrector: tile longer than 32 bases");
+  }
+}
+
+std::uint64_t ReptileCorrector::convert_ambiguous(
+    std::string& bases, std::vector<std::uint8_t>& quality) const {
+  const int w = params_.effective_ambig_window();
+  const int amax = params_.effective_ambig_max();
+  const auto L = static_cast<int>(bases.size());
+  const int win = std::min(w, L);
+  if (win <= 0) return 0;
+  std::vector<int> prefix(static_cast<std::size_t>(L) + 1, 0);
+  for (int i = 0; i < L; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] +
+        (seq::is_ambiguous(bases[static_cast<std::size_t>(i)]) ? 1 : 0);
+  }
+  std::uint64_t converted = 0;
+  for (int i = 0; i < L; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    if (!seq::is_ambiguous(bases[ui])) continue;
+    const int s_lo = std::max(0, i - win + 1);
+    const int s_hi = std::min(i, L - win);
+    int max_in_window = 0;
+    for (int s = s_lo; s <= s_hi; ++s) {
+      max_in_window =
+          std::max(max_in_window, prefix[static_cast<std::size_t>(s + win)] -
+                                      prefix[static_cast<std::size_t>(s)]);
+    }
+    if (max_in_window <= amax) {
+      bases[ui] = params_.default_base;
+      if (ui < quality.size()) quality[ui] = 0;
+      ++converted;
+    }
+  }
+  return converted;
+}
+
+void ReptileCorrector::kmer_options(seq::KmerCode code, int d_limit,
+                                    std::vector<seq::KmerCode>& out) const {
+  out.push_back(code);
+  if (d_limit <= 0) return;
+  const auto idx = spectrum_.index_of(code);
+  if (idx >= 0) {
+    for (const std::uint32_t j :
+         graph_.neighbors(static_cast<std::size_t>(idx))) {
+      const seq::KmerCode cand = spectrum_.code_at(j);
+      if (seq::kmer_hamming(cand, code) <= d_limit) out.push_back(cand);
+    }
+  } else {
+    // Novel kmer (not part of the build set): fall back to candidate
+    // enumeration against the spectrum.
+    std::vector<seq::KmerCode> cands;
+    seq::enumerate_neighbors(code, params_.k, d_limit, cands);
+    for (const seq::KmerCode cand : cands) {
+      if (spectrum_.contains(cand)) out.push_back(cand);
+    }
+  }
+  // Bound the candidate-tile product in repeat-dense neighborhoods:
+  // keep the original kmer plus the most abundant neighbors.
+  if (params_.max_kmer_options > 0 &&
+      out.size() > params_.max_kmer_options) {
+    std::partial_sort(out.begin() + 1,
+                      out.begin() +
+                          static_cast<std::ptrdiff_t>(params_.max_kmer_options),
+                      out.end(),
+                      [this](seq::KmerCode a, seq::KmerCode b) {
+                        return spectrum_.count(a) > spectrum_.count(b);
+                      });
+    out.resize(params_.max_kmer_options);
+  }
+}
+
+ReptileCorrector::TileOutcome ReptileCorrector::correct_tile(
+    seq::KmerCode tile, std::span<const std::uint8_t> tile_quality, int d1,
+    int d2, TileOutcomeCache* cache) const {
+  const int T = params_.tile_length();
+  TileOutcome outcome;
+
+  // The raw decision depends only on (tile, d1, d2); memoize it when a
+  // cache is supplied and the key fits (2T + 4 bits).
+  const bool cacheable = cache != nullptr && 2 * T + 4 <= 62 && d1 <= 3 &&
+                         d2 <= 3;
+  if (cacheable) {
+    const std::uint64_t key =
+        (tile << 4) | (static_cast<std::uint64_t>(d1) << 2) |
+        static_cast<std::uint64_t>(d2);
+    std::uint64_t encoded = 0;
+    if (cache->lookup(key, encoded)) {
+      const auto tag = static_cast<unsigned>(encoded >> 62);
+      outcome.decision = tag == 0 ? TileDecision::kInsufficient
+                         : tag == 1 ? TileDecision::kValid
+                                    : TileDecision::kCorrected;
+      outcome.corrected = encoded & ((std::uint64_t{1} << 62) - 1);
+      outcome.quality_gated = tag == 2;
+    } else {
+      outcome = correct_tile_raw(tile, d1, d2);
+      std::uint64_t tag = 0;
+      if (outcome.decision == TileDecision::kValid) {
+        tag = 1;
+      } else if (outcome.decision == TileDecision::kCorrected) {
+        tag = outcome.quality_gated ? 2 : 3;
+      }
+      cache->store(key, (tag << 62) | outcome.corrected);
+    }
+  } else {
+    outcome = correct_tile_raw(tile, d1, d2);
+  }
+
+  // Per-instance quality gate (Algorithm 1, line 14): a strong-branch
+  // correction must touch at least one low-confidence base.
+  if (outcome.decision == TileDecision::kCorrected && outcome.quality_gated &&
+      !tile_quality.empty()) {
+    bool touches_low_quality = false;
+    for (int i = 0; i < T; ++i) {
+      if (seq::kmer_base(tile, T, i) !=
+              seq::kmer_base(outcome.corrected, T, i) &&
+          tile_quality[static_cast<std::size_t>(i)] < params_.quality_max) {
+        touches_low_quality = true;
+        break;
+      }
+    }
+    if (!touches_low_quality) return {TileDecision::kInsufficient, 0, false};
+  }
+  return outcome;
+}
+
+ReptileCorrector::TileOutcome ReptileCorrector::correct_tile_raw(
+    seq::KmerCode tile, int d1, int d2) const {
+  const int k = params_.k;
+  const int l = params_.overlap;
+  const int T = params_.tile_length();
+  const std::uint32_t og_t = tiles_.counts(tile).og;
+
+  // Line 1: overwhelming support validates outright.
+  if (og_t >= params_.c_good) return {TileDecision::kValid, 0, false};
+
+  const seq::KmerCode alpha1 = tile >> (2 * (T - k));
+  const seq::KmerCode alpha2 = tile & ((seq::KmerCode{1} << (2 * k)) - 1);
+
+  std::vector<seq::KmerCode> opts1, opts2;
+  kmer_options(alpha1, d1, opts1);
+  kmer_options(alpha2, d2, opts2);
+
+  // Enumerate d-mutant tiles present (with high-quality support) in R.
+  struct Candidate {
+    seq::KmerCode code;
+    std::uint32_t og;
+    int hd;
+  };
+  std::vector<Candidate> candidates;
+  for (const seq::KmerCode a1 : opts1) {
+    for (const seq::KmerCode a2 : opts2) {
+      if (l > 0) {
+        const seq::KmerCode suffix = a1 & ((seq::KmerCode{1} << (2 * l)) - 1);
+        const seq::KmerCode prefix = a2 >> (2 * (k - l));
+        if (suffix != prefix) continue;
+      }
+      const seq::KmerCode cand = seq::concat_kmers(a1, k, a2, k, l);
+      if (cand == tile) continue;
+      const std::uint32_t og = tiles_.counts(cand).og;
+      if (og == 0) continue;
+      candidates.push_back({cand, og, seq::kmer_hamming(cand, tile)});
+    }
+  }
+
+  // Lines 4-8: no mutant tiles.
+  if (candidates.empty()) {
+    return og_t >= params_.c_min ? TileOutcome{TileDecision::kValid, 0}
+                                 : TileOutcome{TileDecision::kInsufficient, 0};
+  }
+
+  if (og_t >= params_.c_min) {
+    // Lines 10-15: keep only strongly dominating alternatives.
+    std::vector<Candidate> dominating;
+    for (const auto& c : candidates) {
+      if (static_cast<double>(c.og) >=
+          params_.c_ratio * static_cast<double>(og_t)) {
+        dominating.push_back(c);
+      }
+    }
+    if (dominating.empty()) return {TileDecision::kValid, 0};
+    int min_hd = dominating.front().hd;
+    for (const auto& c : dominating) min_hd = std::min(min_hd, c.hd);
+    const Candidate* unique_best = nullptr;
+    for (const auto& c : dominating) {
+      if (c.hd != min_hd) continue;
+      if (unique_best != nullptr) {
+        return {TileDecision::kInsufficient, 0, false};  // ambiguous
+      }
+      unique_best = &c;
+    }
+    // The per-instance low-quality-base gate is applied by the caller.
+    return {TileDecision::kCorrected, unique_best->code, true};
+  }
+
+  // Lines 17-21: the tile itself is weak; accept a unique trusted mutant.
+  const Candidate* only = nullptr;
+  for (const auto& c : candidates) {
+    if (c.og >= params_.c_min) {
+      if (only != nullptr) return {TileDecision::kInsufficient, 0};
+      only = &c;
+    }
+  }
+  if (only == nullptr) return {TileDecision::kInsufficient, 0};
+  return {TileDecision::kCorrected, only->code};
+}
+
+void ReptileCorrector::sweep(std::string& bases,
+                             const std::vector<std::uint8_t>& quality,
+                             CorrectionStats& stats,
+                             TileOutcomeCache* cache) const {
+  const int T = params_.tile_length();
+  const int k = params_.k;
+  const auto L = static_cast<int>(bases.size());
+  if (L < T) return;
+
+  const int advance = T - k;  // suffix-kmer overlap between adjacent tiles
+  const int max_iters = 2 * L + 32;
+  int pos = 0;
+  int d1 = params_.d;
+  int d2 = params_.d;
+  int frontier = 0;  // validated prefix length
+  int stall = 0;
+
+  for (int iter = 0; iter < max_iters && pos + T <= L; ++iter) {
+    const auto code = seq::encode_kmer(
+        std::string_view(bases).substr(static_cast<std::size_t>(pos),
+                                       static_cast<std::size_t>(T)));
+    TileOutcome outcome{TileDecision::kInsufficient, 0};
+    if (code) {
+      std::span<const std::uint8_t> q;
+      if (quality.size() == bases.size()) {
+        q = std::span<const std::uint8_t>(
+            quality.data() + pos, static_cast<std::size_t>(T));
+      }
+      outcome = correct_tile(*code, q, d1, d2, cache);
+    }
+
+    switch (outcome.decision) {
+      case TileDecision::kCorrected: {
+        ++stats.tiles_corrected;
+        const std::string fixed = seq::decode_kmer(outcome.corrected, T);
+        for (int i = 0; i < T; ++i) {
+          auto& b = bases[static_cast<std::size_t>(pos + i)];
+          if (b != fixed[static_cast<std::size_t>(i)]) {
+            b = fixed[static_cast<std::size_t>(i)];
+            ++stats.bases_changed;
+          }
+        }
+        [[fallthrough]];
+      }
+      case TileDecision::kValid: {
+        if (outcome.decision == TileDecision::kValid) ++stats.tiles_valid;
+        frontier = pos + T;
+        if (frontier >= L) return;
+        stall = 0;
+        int next = pos + advance;
+        if (next + T > L) {
+          next = L - T;
+          d1 = 1;  // suffix tile: prefix kmer only partially validated
+        } else {
+          d1 = 0;  // [D1]/[D2]: prefix kmer equals the validated a2
+        }
+        d2 = params_.d;
+        pos = next;
+        break;
+      }
+      case TileDecision::kInsufficient: {
+        ++stats.tiles_insufficient;
+        ++stall;
+        int next;
+        if (stall <= 2 && frontier >= T && frontier - T + 1 > pos - T) {
+          // [D3a]: slide a tile one base past the validated region.
+          next = frontier - T + 1;
+          if (next <= pos && frontier >= pos + T) {
+            // Already validated past here; step forward instead.
+            next = pos + 1;
+          }
+          d1 = 1;
+          d2 = params_.d;
+        } else if (stall <= 2 && frontier < T) {
+          // No validated prefix yet (5' end): probe forward one base.
+          next = pos + 1;
+          d1 = params_.d;
+          d2 = params_.d;
+        } else {
+          // [D3b]: jump past the uncorrectable region.
+          next = pos + k;
+          stall = 0;
+          d1 = params_.d;
+          d2 = params_.d;
+        }
+        if (next == pos) next = pos + 1;
+        if (next + T > L) {
+          if (pos >= L - T) return;  // suffix already tried
+          next = L - T;
+        }
+        pos = next;
+        break;
+      }
+    }
+  }
+}
+
+seq::Read ReptileCorrector::correct(const seq::Read& read,
+                                    CorrectionStats& stats,
+                                    TileOutcomeCache* cache) const {
+  ++stats.reads;
+  seq::Read out = read;
+  std::vector<std::uint8_t> quality = read.quality;
+  stats.ambiguous_converted += convert_ambiguous(out.bases, quality);
+
+  // 5' -> 3' sweep.
+  sweep(out.bases, quality, stats, cache);
+
+  // 3' -> 5' sweep via the reverse complement (the tables contain both
+  // strands, so lookups are directly valid).
+  std::string rc = seq::reverse_complement(out.bases);
+  std::vector<std::uint8_t> rq(quality.rbegin(), quality.rend());
+  sweep(rc, rq, stats, cache);
+  out.bases = seq::reverse_complement(rc);
+  return out;
+}
+
+std::vector<seq::Read> ReptileCorrector::correct_all(
+    const seq::ReadSet& reads, CorrectionStats& stats) const {
+  std::vector<seq::Read> out(reads.reads.size());
+  std::mutex stats_mutex;
+  util::default_pool().parallel_for_blocked(
+      0, reads.reads.size(), [&](std::size_t lo, std::size_t hi) {
+        CorrectionStats local;
+        TileOutcomeCache cache;  // shared across this block's reads
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = correct(reads.reads[i], local, &cache);
+        }
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        stats.merge(local);
+      });
+  return out;
+}
+
+}  // namespace ngs::reptile

@@ -1,0 +1,122 @@
+#pragma once
+// Reptile (Sec. 2.3): short-read error correction via representative
+// tilings. Phase 1 (construction) builds the k-spectrum, the Hamming
+// graph over it, and the tile table with quality-filtered counts;
+// phase 2 corrects each read independently by placing tiles, comparing
+// them against their d-mutant tiles (Algorithm 1), and choosing
+// alternative tile placements on inconclusive decisions (Algorithm 2,
+// rules [D1]-[D3]), sweeping 5'->3' and then 3'->5' (via the reverse
+// complement, which the double-stranded tables support natively).
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "kspec/hamming_graph.hpp"
+#include "kspec/kspectrum.hpp"
+#include "kspec/tile_table.hpp"
+#include "reptile/params.hpp"
+#include "seq/read.hpp"
+
+namespace ngs::reptile {
+
+enum class TileDecision { kValid, kCorrected, kInsufficient };
+
+struct CorrectionStats {
+  std::uint64_t reads = 0;
+  std::uint64_t tiles_valid = 0;
+  std::uint64_t tiles_corrected = 0;
+  std::uint64_t tiles_insufficient = 0;
+  std::uint64_t bases_changed = 0;
+  std::uint64_t ambiguous_converted = 0;
+
+  void merge(const CorrectionStats& o) {
+    reads += o.reads;
+    tiles_valid += o.tiles_valid;
+    tiles_corrected += o.tiles_corrected;
+    tiles_insufficient += o.tiles_insufficient;
+    bases_changed += o.bases_changed;
+    ambiguous_converted += o.ambiguous_converted;
+  }
+};
+
+/// Memoizes quality-independent tile decisions. At typical coverages the
+/// same tile code is corrected hundreds of times across reads, and the
+/// d-mutant enumeration (the expensive step) does not depend on the
+/// instance's quality scores — only the final accept gate does.
+class TileOutcomeCache {
+ public:
+  bool lookup(std::uint64_t key, std::uint64_t& encoded) const {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    encoded = it->second;
+    return true;
+  }
+  void store(std::uint64_t key, std::uint64_t encoded) {
+    map_.emplace(key, encoded);
+  }
+  std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> map_;
+};
+
+class ReptileCorrector {
+ public:
+  /// Phase 1: ambiguous bases satisfying the density constraint are
+  /// converted to params.default_base in a working copy of the reads,
+  /// from which the spectrum, Hamming graph, and tile table are built.
+  ReptileCorrector(const seq::ReadSet& reads, ReptileParams params);
+
+  const ReptileParams& params() const noexcept { return params_; }
+  const kspec::KSpectrum& spectrum() const noexcept { return spectrum_; }
+  const kspec::TileTable& tiles() const noexcept { return tiles_; }
+
+  /// Phase 2 for one read; returns the corrected read and accumulates
+  /// stats. Thread-safe (const, no shared mutable state). `cache` may be
+  /// shared across calls from the same thread to memoize tile decisions.
+  seq::Read correct(const seq::Read& read, CorrectionStats& stats,
+                    TileOutcomeCache* cache = nullptr) const;
+
+  /// Corrects every read (parallel over the default thread pool).
+  std::vector<seq::Read> correct_all(const seq::ReadSet& reads,
+                                     CorrectionStats& stats) const;
+
+ private:
+  struct TileOutcome {
+    TileDecision decision = TileDecision::kInsufficient;
+    seq::KmerCode corrected = 0;
+    /// True when the correction came from the strong-tile branch (lines
+    /// 10-15) and must still pass the per-instance low-quality-base gate.
+    bool quality_gated = false;
+  };
+
+  /// Algorithm 1 on the tile starting at `pos` of the working read.
+  TileOutcome correct_tile(seq::KmerCode tile,
+                           std::span<const std::uint8_t> tile_quality,
+                           int d1, int d2, TileOutcomeCache* cache) const;
+
+  /// The quality-independent part of Algorithm 1 (memoizable).
+  TileOutcome correct_tile_raw(seq::KmerCode tile, int d1, int d2) const;
+
+  /// Kmers within Hamming distance [0, d_limit] of `code` that occur in
+  /// the spectrum (including `code` itself). Appends to `out`.
+  void kmer_options(seq::KmerCode code, int d_limit,
+                    std::vector<seq::KmerCode>& out) const;
+
+  /// Algorithm 2 sweep over one orientation of the working read.
+  void sweep(std::string& bases, const std::vector<std::uint8_t>& quality,
+             CorrectionStats& stats, TileOutcomeCache* cache) const;
+
+  /// Converts eligible N's in place; returns number converted.
+  std::uint64_t convert_ambiguous(std::string& bases,
+                                  std::vector<std::uint8_t>& quality) const;
+
+  ReptileParams params_;
+  kspec::KSpectrum spectrum_;
+  kspec::HammingGraph graph_;
+  kspec::TileTable tiles_;
+};
+
+}  // namespace ngs::reptile

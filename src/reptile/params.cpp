@@ -1,0 +1,58 @@
+#include "reptile/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kspec/tile_table.hpp"
+#include "util/stats.hpp"
+
+namespace ngs::reptile {
+
+ReptileParams select_parameters(const seq::ReadSet& reads,
+                                std::uint64_t genome_length_estimate) {
+  ReptileParams p;
+  if (genome_length_estimate > 0) {
+    p.k = static_cast<int>(
+        std::ceil(std::log(static_cast<double>(genome_length_estimate)) /
+                  std::log(4.0)));
+    p.k = std::clamp(p.k, 10, 15);
+  }
+
+  // Qc: ~17% of base calls fall below the cutoff.
+  util::Histogram quality_hist;
+  bool has_quality = false;
+  for (const auto& r : reads.reads) {
+    for (const std::uint8_t q : r.quality) {
+      quality_hist.add(q);
+      has_quality = true;
+    }
+  }
+  if (has_quality) {
+    p.quality_cutoff = static_cast<int>(quality_hist.quantile(0.17));
+    p.quality_max = static_cast<int>(quality_hist.quantile(0.60));
+  }
+
+  // Tile multiplicity histogram with the chosen Qc drives Cg and Cm.
+  kspec::TileParams tile_params;
+  tile_params.k = p.k;
+  tile_params.overlap = p.overlap;
+  tile_params.quality_cutoff = p.quality_cutoff;
+  const auto table = kspec::TileTable::build(reads, tile_params);
+  const auto hist = table.og_histogram();
+  if (!hist.empty()) {
+    p.c_good = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(4, hist.quantile(0.98)));
+    // Cm: the 95% quantile of the multiplicity histogram, but never more
+    // than a quarter of Cg — with strongly 3'-weighted quality profiles
+    // the quantile can land inside the valid-tile peak, which would bar
+    // legitimate low-Og (3'-heavy) tiles from ever validating. The cap
+    // keeps Cm in the valley between the error and genomic peaks, which
+    // is where the paper's own sweep (Fig. 2.3) finds the best Gain.
+    p.c_min = static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+        hist.quantile(0.95), 2,
+        std::max<std::int64_t>(2, p.c_good / 4)));
+  }
+  return p;
+}
+
+}  // namespace ngs::reptile

@@ -1,0 +1,59 @@
+#include "reptile/polymorphism.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "seq/kmer.hpp"
+
+namespace ngs::reptile {
+
+std::vector<SnpCandidate> detect_polymorphisms(
+    const ReptileCorrector& corrector, const SnpParams& params) {
+  const auto& tiles = corrector.tiles();
+  const int T = corrector.params().tile_length();
+
+  std::set<std::pair<seq::KmerCode, seq::KmerCode>> seen;
+  std::vector<SnpCandidate> out;
+
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const seq::KmerCode tile = tiles.code_at(i);
+    const std::uint32_t og = tiles.counts_at(i).og;
+    if (og < params.min_support) continue;
+
+    for (int pos = 0; pos < T; ++pos) {
+      const std::uint8_t current = seq::kmer_base(tile, T, pos);
+      for (std::uint8_t b = 0; b < 4; ++b) {
+        if (b == current) continue;
+        const seq::KmerCode variant = seq::kmer_with_base(tile, T, pos, b);
+        if (variant < tile) continue;  // each unordered pair once
+        const std::uint32_t og_v = tiles.counts(variant).og;
+        if (og_v < params.min_support) continue;
+        const double hi = std::max(og, og_v);
+        const double lo = std::min(og, og_v);
+        if (hi > params.max_imbalance * lo) continue;
+
+        // Canonicalize across strands: the reverse complements of both
+        // variants form the same biological site.
+        const seq::KmerCode rc_a = seq::reverse_complement(tile, T);
+        const seq::KmerCode rc_b = seq::reverse_complement(variant, T);
+        auto fwd = std::minmax(tile, variant);
+        auto rev = std::minmax(rc_a, rc_b);
+        const auto key = std::min(
+            std::pair<seq::KmerCode, seq::KmerCode>(fwd.first, fwd.second),
+            std::pair<seq::KmerCode, seq::KmerCode>(rev.first, rev.second));
+        if (!seen.insert(key).second) continue;
+
+        SnpCandidate cand;
+        cand.tile_a = fwd.first;
+        cand.tile_b = fwd.second;
+        cand.offset = pos;
+        cand.og_a = tile < variant ? og : og_v;
+        cand.og_b = tile < variant ? og_v : og;
+        out.push_back(cand);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ngs::reptile

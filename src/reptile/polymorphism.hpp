@@ -1,0 +1,37 @@
+#pragma once
+// Polymorphism (SNP) candidate detection from Reptile's tile tables —
+// the Chapter 5 extension: a tile-correction *ambiguity* in which two
+// variants of the same tile both carry strong high-quality support is
+// evidence of a heterozygous site rather than a sequencing error (an
+// error variant would be dominated Cr-fold by its source).
+
+#include <cstdint>
+#include <vector>
+
+#include "reptile/corrector.hpp"
+
+namespace ngs::reptile {
+
+struct SnpCandidate {
+  seq::KmerCode tile_a = 0;  // the lexicographically smaller variant
+  seq::KmerCode tile_b = 0;
+  int offset = 0;            // differing position within the tile
+  std::uint32_t og_a = 0;
+  std::uint32_t og_b = 0;
+};
+
+struct SnpParams {
+  /// Both variants need at least this much high-quality support.
+  std::uint32_t min_support = 5;
+  /// Allele balance: max(og)/min(og) must not exceed this (an error
+  /// variant is strongly unbalanced against its source).
+  double max_imbalance = 4.0;
+};
+
+/// Scans every tile of the corrector's table for 1-mutant pairs where
+/// both variants pass the support and balance gates. Pairs are reported
+/// once (tile_a < tile_b); reverse-complement duplicates are removed.
+std::vector<SnpCandidate> detect_polymorphisms(
+    const ReptileCorrector& corrector, const SnpParams& params);
+
+}  // namespace ngs::reptile

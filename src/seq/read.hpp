@@ -1,0 +1,48 @@
+#pragma once
+// Read and ReadSet: the in-memory representation of a sequencing dataset.
+//
+// Quality scores are stored as raw Phred values (not ASCII-offset); the
+// io module converts on the way in/out. For simulated data, ReadSet also
+// carries the per-read ground truth (origin position, strand, error-free
+// sequence) that the evaluation module consumes — this replaces the
+// paper's RMAP-based approximate truth with exact truth.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ngs::seq {
+
+struct Read {
+  std::string id;
+  std::string bases;
+  std::vector<std::uint8_t> quality;  // Phred scores; empty if unavailable
+
+  std::size_t length() const noexcept { return bases.size(); }
+};
+
+/// Ground truth for one simulated read.
+struct ReadTruth {
+  std::uint64_t genome_pos = 0;  // 0-based origin on the forward strand
+  bool reverse_strand = false;
+  std::string true_bases;        // error-free read as sequenced (read orientation)
+};
+
+struct ReadSet {
+  std::vector<Read> reads;
+  std::vector<ReadTruth> truth;  // parallel to reads; empty for real data
+
+  bool has_truth() const noexcept {
+    return !truth.empty() && truth.size() == reads.size();
+  }
+
+  std::size_t size() const noexcept { return reads.size(); }
+
+  std::uint64_t total_bases() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& r : reads) n += r.bases.size();
+    return n;
+  }
+};
+
+}  // namespace ngs::seq

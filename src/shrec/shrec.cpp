@@ -1,0 +1,166 @@
+#include "shrec/shrec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "seq/alphabet.hpp"
+#include "seq/kmer.hpp"
+#include "util/flat_counter.hpp"
+
+namespace ngs::shrec {
+namespace {
+
+struct Vote {
+  std::uint32_t read = 0;
+  std::uint16_t pos = 0;
+  std::uint8_t base = 0;
+
+  bool operator<(const Vote& o) const {
+    if (read != o.read) return read < o.read;
+    if (pos != o.pos) return pos < o.pos;
+    return base < o.base;
+  }
+  bool same_site(const Vote& o) const {
+    return read == o.read && pos == o.pos;
+  }
+};
+
+/// Counts all q-grams of `bases` and its reverse complement into counter.
+void count_qgrams(const std::string& bases, int q,
+                  util::FlatCounter& counter) {
+  std::vector<seq::KmerCode> codes;
+  seq::extract_kmer_codes(bases, q, codes);
+  for (const auto c : codes) counter.add(c);
+  codes.clear();
+  const std::string rc = seq::reverse_complement(bases);
+  seq::extract_kmer_codes(rc, q, codes);
+  for (const auto c : codes) counter.add(c);
+}
+
+}  // namespace
+
+ShrecCorrector::ShrecCorrector(ShrecParams params) : params_(params) {
+  if (params_.genome_length == 0) {
+    throw std::invalid_argument("ShrecCorrector: genome_length required");
+  }
+}
+
+std::vector<seq::Read> ShrecCorrector::correct_all(const seq::ReadSet& reads,
+                                                   ShrecStats& stats) const {
+  std::vector<seq::Read> working = reads.reads;
+  const std::uint64_t n = working.size();
+  std::size_t min_len = ~std::size_t{0}, max_len = 0;
+  for (const auto& r : working) {
+    min_len = std::min(min_len, r.length());
+    max_len = std::max(max_len, r.length());
+  }
+  if (n == 0 || max_len == 0) return working;
+
+  int q_lo = params_.level_low;
+  if (q_lo == 0) {
+    q_lo = static_cast<int>(std::ceil(
+               std::log(static_cast<double>(params_.genome_length)) /
+               std::log(4.0))) +
+           2;
+  }
+  std::vector<int> levels;
+  for (int i = 0; i < params_.level_count; ++i) {
+    const int q = q_lo + i;
+    if (q >= 6 && q <= 32 && q < static_cast<int>(min_len)) levels.push_back(q);
+  }
+  if (levels.empty()) return working;
+
+  for (int iter = 0; iter < params_.iterations; ++iter) {
+    std::vector<Vote> votes;
+    for (const int q : levels) {
+      // Level statistics: e = n(L-q+1)/|G| per suffix-trie node.
+      const double p =
+          static_cast<double>(max_len - static_cast<std::size_t>(q) + 1) /
+          static_cast<double>(params_.genome_length);
+      const double e = static_cast<double>(n) * p;
+      const double sigma = std::sqrt(e * (1.0 - std::min(p, 1.0)));
+      const double threshold =
+          std::max(1.0, e - params_.alpha * sigma);
+      const auto support = static_cast<std::uint32_t>(
+          std::max<double>(params_.min_support, threshold));
+
+      util::FlatCounter counter(n * (max_len - static_cast<std::size_t>(q)) /
+                                    2 +
+                                1024);
+      for (const auto& r : working) count_qgrams(r.bases, q, counter);
+
+      std::vector<seq::KmerCode> codes;
+      for (std::uint32_t ri = 0; ri < working.size(); ++ri) {
+        const auto& bases = working[ri].bases;
+        codes.clear();
+        std::vector<std::pair<seq::KmerCode, std::uint32_t>> grams;
+        seq::extract_kmers(bases, q, grams);
+        for (const auto& [code, start] : grams) {
+          if (static_cast<double>(counter.count(code)) >= threshold) continue;
+          ++stats.flagged_positions;
+          // Compare against siblings: same q-1 prefix, different last base.
+          const std::uint8_t current =
+              static_cast<std::uint8_t>(code & 3u);
+          std::uint32_t best_count = 0;
+          std::uint8_t best_base = current;
+          bool tie = false;
+          for (std::uint8_t b = 0; b < 4; ++b) {
+            if (b == current) continue;
+            const seq::KmerCode sibling = (code & ~seq::KmerCode{3}) | b;
+            const std::uint32_t c = counter.count(sibling);
+            if (c < support) continue;
+            if (c > best_count) {
+              best_count = c;
+              best_base = b;
+              tie = false;
+            } else if (c == best_count && c > 0) {
+              tie = true;
+            }
+          }
+          if (best_count > 0 && !tie) {
+            votes.push_back(Vote{
+                ri,
+                static_cast<std::uint16_t>(start +
+                                           static_cast<std::uint32_t>(q) - 1),
+                best_base});
+          }
+        }
+      }
+    }
+
+    // Tally: apply a correction where >= min_votes levels agree on the
+    // same target base and no competing base also reaches the bar.
+    std::sort(votes.begin(), votes.end());
+    std::uint64_t applied = 0;
+    std::size_t i = 0;
+    while (i < votes.size()) {
+      std::size_t j = i;
+      while (j < votes.size() && votes[j].same_site(votes[i])) ++j;
+      // Count votes per base at this site.
+      std::array<int, 4> per_base{};
+      for (std::size_t v = i; v < j; ++v) ++per_base[votes[v].base];
+      int winners = 0;
+      std::uint8_t target = 0;
+      for (std::uint8_t b = 0; b < 4; ++b) {
+        if (per_base[b] >= params_.min_votes) {
+          ++winners;
+          target = b;
+        }
+      }
+      if (winners == 1) {
+        working[votes[i].read].bases[votes[i].pos] =
+            seq::code_to_base(target);
+        ++applied;
+      } else if (winners > 1) {
+        ++stats.conflicting_votes;
+      }
+      i = j;
+    }
+    stats.corrections_applied += applied;
+    if (applied == 0) break;
+  }
+  return working;
+}
+
+}  // namespace ngs::shrec

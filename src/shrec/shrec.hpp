@@ -1,0 +1,62 @@
+#pragma once
+// SHREC baseline (Schroeder et al. 2009), reimplemented level-
+// synchronously (see DESIGN.md substitutions).
+//
+// SHREC builds a generalized suffix trie over the reads (both strands);
+// an internal node at depth q represents a q-length substring s whose
+// occurrence count equals its leaf count. Assuming a random genome
+// uniformly sampled by n reads of length L, the count of s is a Binomial
+// with mean e_q = n(L-q+1)/|G| and variance e_q(1-p). A node with
+// count < e_q - alpha*sigma_q is flagged as ending in a sequencing error
+// and corrected toward a sibling (same q-1 prefix, different last base)
+// that passes the test and whose subtree is compatible.
+//
+// The trie is only a container for the level-q substring counts, so this
+// implementation walks levels q = q_lo..q_hi explicitly: per level it
+// builds the q-gram multiset (sorted packed codes, both strands), applies
+// the same statistic, and emits per-(read, position) correction votes
+// toward the dominant sibling. Votes across levels are combined by
+// majority, and the whole procedure iterates a fixed number of rounds to
+// capture multiple errors per read — mirroring SHREC's fixed-iteration
+// multi-error loop.
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/read.hpp"
+
+namespace ngs::shrec {
+
+struct ShrecParams {
+  double alpha = 3.0;        // strictness of the frequency test
+  std::uint64_t genome_length = 0;  // |G| estimate; required
+  int level_low = 0;         // 0 = auto: ceil(log4 |G|) + 2
+  int level_count = 4;       // number of trie levels analyzed
+  int iterations = 3;        // multi-error rounds
+  int min_votes = 2;         // levels that must agree on a correction
+  std::uint32_t min_support = 2;  // sibling must occur at least this often
+};
+
+struct ShrecStats {
+  std::uint64_t flagged_positions = 0;
+  std::uint64_t corrections_applied = 0;
+  std::uint64_t conflicting_votes = 0;
+};
+
+class ShrecCorrector {
+ public:
+  explicit ShrecCorrector(ShrecParams params);
+
+  const ShrecParams& params() const noexcept { return params_; }
+
+  /// Corrects the whole read set (SHREC is a batch algorithm: counts are
+  /// rebuilt from the working reads each iteration, so corrections from
+  /// earlier rounds sharpen later statistics).
+  std::vector<seq::Read> correct_all(const seq::ReadSet& reads,
+                                     ShrecStats& stats) const;
+
+ private:
+  ShrecParams params_;
+};
+
+}  // namespace ngs::shrec

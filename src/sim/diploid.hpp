@@ -1,0 +1,37 @@
+#pragma once
+// Diploid re-sequencing simulation for the SNP-vs-error separation
+// problem (Chapter 5, future direction 1: "to distinguish errors from
+// polymorphisms, e.g., SNPs ... ambiguities may indicate
+// polymorphisms"). A second haplotype is derived from the reference by
+// heterozygous substitutions at a given rate; reads sample both
+// haplotypes equally.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/error_model.hpp"
+#include "sim/read_sim.hpp"
+#include "util/rng.hpp"
+
+namespace ngs::sim {
+
+struct DiploidSample {
+  std::string haplotype_a;  // the reference
+  std::string haplotype_b;  // reference with heterozygous SNPs
+  std::vector<std::size_t> snp_positions;  // sorted
+  SimulatedReads reads;     // union of reads from both haplotypes
+  /// Truth for reads: from_b[i] == true iff read i sampled haplotype B.
+  std::vector<bool> from_b;
+};
+
+/// Mutates `reference` at `snp_rate` per base to create haplotype B,
+/// then simulates reads from both haplotypes (half the requested
+/// coverage each). Positions within `min_spacing` of a previous SNP are
+/// skipped so every SNP is separable at the tile scale.
+DiploidSample simulate_diploid(const std::string& reference, double snp_rate,
+                               std::size_t min_spacing,
+                               const ErrorModel& model,
+                               const ReadSimConfig& config, util::Rng& rng);
+
+}  // namespace ngs::sim

@@ -1,0 +1,96 @@
+#include "sim/genome.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "seq/alphabet.hpp"
+
+namespace ngs::sim {
+
+std::string random_sequence(std::size_t length,
+                            const std::array<double, 4>& composition,
+                            util::Rng& rng) {
+  // Precompute cumulative distribution once.
+  std::array<double, 4> cum{};
+  double total = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    total += composition[static_cast<std::size_t>(i)];
+    cum[static_cast<std::size_t>(i)] = total;
+  }
+  std::string s(length, 'A');
+  for (auto& c : s) {
+    const double u = rng.uniform() * total;
+    int b = 0;
+    while (b < 3 && u > cum[static_cast<std::size_t>(b)]) ++b;
+    c = seq::code_to_base(static_cast<std::uint8_t>(b));
+  }
+  return s;
+}
+
+Genome simulate_genome(const GenomeSpec& spec, util::Rng& rng) {
+  std::size_t repeat_bases = 0;
+  std::size_t copies = 0;
+  for (const auto& fam : spec.repeats) {
+    repeat_bases += fam.length * fam.multiplicity;
+    copies += fam.multiplicity;
+  }
+  if (repeat_bases > spec.length) {
+    throw std::invalid_argument(
+        "simulate_genome: requested repeat content exceeds genome length");
+  }
+
+  // Exact construction: repeat copies interleaved with background chunks
+  // whose total length makes up the remainder. This packs any repeat
+  // fraction up to 100% while placing copies at random positions, which
+  // rejection sampling cannot do at the 80% span of dataset D3.
+  Genome g;
+  g.sequence.reserve(spec.length);
+
+  // Materialize all copies (mutated per-family divergence), shuffled.
+  std::vector<std::string> pieces;
+  pieces.reserve(copies);
+  for (const auto& fam : spec.repeats) {
+    if (fam.length == 0 || fam.multiplicity == 0) continue;
+    const std::string tmpl =
+        random_sequence(fam.length, spec.composition, rng);
+    for (std::size_t copy = 0; copy < fam.multiplicity; ++copy) {
+      std::string instance = tmpl;
+      if (fam.divergence > 0.0) {
+        for (auto& base : instance) {
+          if (rng.bernoulli(fam.divergence)) {
+            const std::uint8_t cur = seq::base_to_code(base);
+            const auto shift = static_cast<std::uint8_t>(1 + rng.below(3));
+            base =
+                seq::code_to_base(static_cast<std::uint8_t>((cur + shift) & 3u));
+          }
+        }
+      }
+      pieces.push_back(std::move(instance));
+    }
+  }
+  for (std::size_t i = pieces.size(); i > 1; --i) {
+    std::swap(pieces[i - 1], pieces[rng.below(i)]);
+  }
+
+  // Background gap sizes via uniform cut points (stick breaking).
+  const std::size_t background = spec.length - repeat_bases;
+  std::vector<std::size_t> cuts(pieces.size());
+  for (auto& c : cuts) c = rng.below(background + 1);
+  std::sort(cuts.begin(), cuts.end());
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    g.sequence += random_sequence(cuts[i] - prev, spec.composition, rng);
+    g.sequence += pieces[i];
+    prev = cuts[i];
+  }
+  g.sequence += random_sequence(background - prev, spec.composition, rng);
+
+  g.repeat_fraction =
+      spec.length == 0
+          ? 0.0
+          : static_cast<double>(repeat_bases) /
+                static_cast<double>(spec.length);
+  return g;
+}
+
+}  // namespace ngs::sim

@@ -1,0 +1,49 @@
+#pragma once
+// Synthetic genome generation, following the recipe of Sec. 3.4.1:
+// background sequence drawn from the B73 maize nucleotide distribution
+// (A 28%, C 23%, G 22%, T 27%), with repeat families of configurable
+// (length, multiplicity) embedded at random non-overlapping locations.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ngs::sim {
+
+/// One family of identical repeats: `multiplicity` copies of a random
+/// template of `length` bases, optionally mutated per copy at
+/// `divergence` per-base substitution rate (0 = exact repeats).
+struct RepeatFamily {
+  std::size_t length = 0;
+  std::size_t multiplicity = 0;
+  double divergence = 0.0;
+};
+
+struct GenomeSpec {
+  std::size_t length = 0;
+  /// Background nucleotide distribution over {A,C,G,T}. Defaults to the
+  /// maize B73 composition used in the paper.
+  std::array<double, 4> composition{0.28, 0.23, 0.22, 0.27};
+  std::vector<RepeatFamily> repeats;
+};
+
+struct Genome {
+  std::string sequence;
+  /// Fraction of positions covered by embedded repeat copies.
+  double repeat_fraction = 0.0;
+};
+
+/// Generates a genome per spec. Repeat copies are placed at random
+/// non-overlapping positions (best effort; throws if the requested repeat
+/// content exceeds ~95% of the genome length).
+Genome simulate_genome(const GenomeSpec& spec, util::Rng& rng);
+
+/// Convenience: iid sequence of `length` from `composition`.
+std::string random_sequence(std::size_t length,
+                            const std::array<double, 4>& composition,
+                            util::Rng& rng);
+
+}  // namespace ngs::sim

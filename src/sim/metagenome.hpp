@@ -1,0 +1,102 @@
+#pragma once
+// Metagenome (16S rRNA pool) simulator for Chapter 4.
+//
+// A taxonomy is a rooted tree: rank 0 = a single root (domain), each
+// subsequent rank splits every taxon into `branching[rank]` children,
+// with per-rank sequence divergence applied along edges. Leaves are
+// species, each carrying a full-length 16S-like reference (~1.6 kbp).
+// Species abundances are log-normal (a few dominant organisms, a long
+// tail of rare ones — the structure deep 454 sequencing is meant to
+// resolve). Reads are 454-like: Gamma-distributed lengths around 400 bp,
+// low substitution error, sampled from either strand.
+//
+// Ground truth: every read records its species leaf, and the taxonomy
+// exposes the ancestor taxon of any species at any rank — exactly what
+// the ARI assessment of Sec. 4.5.2 needs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/read.hpp"
+#include "util/rng.hpp"
+
+namespace ngs::sim {
+
+struct TaxonomySpec {
+  std::size_t gene_length = 1600;
+  /// branching[r] = children per taxon when descending from rank r to r+1.
+  /// Example {3, 4, 5}: 3 phyla -> 12 genera -> 60 species.
+  std::vector<std::size_t> branching{3, 4, 5};
+  /// divergence[r] = per-base substitution probability on edges from rank
+  /// r to r+1. Must have the same arity as `branching`. Defaults give
+  /// within-species reads ~97%+ identity and cross-phylum ~75%.
+  std::vector<double> divergence{0.12, 0.06, 0.02};
+  /// Log-normal abundance spread (sigma of log-abundance).
+  double abundance_sigma = 1.0;
+  /// Fraction of the gene that is evolutionarily conserved (immune to
+  /// edge divergence), as a contiguous central block — 16S rRNA is a
+  /// mosaic of conserved and hyper-variable regions, and reads dominated
+  /// by conserved sequence are non-discriminative across taxa (the
+  /// similarity-measure ambiguity Sec. 4.1 models).
+  double conserved_fraction = 0.0;
+};
+
+struct Taxonomy {
+  std::size_t num_ranks() const noexcept { return parents.size() + 1; }
+  std::size_t num_species() const noexcept { return species_sequences.size(); }
+
+  /// parents[r][i] = index at rank r of the parent of taxon i at rank r+1.
+  std::vector<std::vector<std::size_t>> parents;
+  /// One full-length reference per species (deepest rank).
+  std::vector<std::string> species_sequences;
+  /// Relative abundance per species (sums to 1).
+  std::vector<double> abundances;
+
+  /// Ancestor of species `s` at rank `rank` (0 = root rank; num_ranks()-1
+  /// = the species itself).
+  std::size_t ancestor_at_rank(std::size_t species, std::size_t rank) const;
+
+  /// Number of taxa at a rank.
+  std::size_t taxa_at_rank(std::size_t rank) const;
+};
+
+Taxonomy simulate_taxonomy(const TaxonomySpec& spec, util::Rng& rng);
+
+struct MetagenomeReadConfig {
+  std::size_t num_reads = 100000;
+  double mean_length = 400.0;  // 454-like
+  double length_shape = 60.0;  // Gamma shape; larger = tighter
+  std::size_t min_length = 150;
+  double error_rate = 0.005;   // substitutions
+  bool both_strands = true;
+  /// 16S amplicon sequencing starts reads near PCR primer sites rather
+  /// than uniformly: reads draw a site and start at Normal(site,
+  /// amplicon_sd). 0 sites = uniform (shotgun-style) starts.
+  std::size_t amplicon_sites = 2;
+  double amplicon_sd = 15.0;
+  /// PCR chimera rate: a chimeric read splices fragments of two distinct
+  /// species — the classic artifact that links unrelated clusters and
+  /// defeats single-linkage clustering.
+  double chimera_rate = 0.0;
+  /// Per-base insertion/deletion rate — 454 pyrosequencing's dominant
+  /// error mode (homopolymer miscounts). Nonzero rates motivate the
+  /// alignment-based similarity function F over the kmer-set one.
+  double indel_rate = 0.0;
+};
+
+struct MetagenomeSample {
+  seq::ReadSet reads;
+  /// species_of[i] = leaf species index for read i (the 5' parent for
+  /// chimeric reads).
+  std::vector<std::uint32_t> species_of;
+  /// chimeric[i] = true iff read i is a PCR chimera (empty if rate 0).
+  std::vector<bool> chimeric;
+};
+
+/// Draws reads from the taxonomy's species pool by abundance.
+MetagenomeSample simulate_metagenome_reads(const Taxonomy& taxonomy,
+                                           const MetagenomeReadConfig& config,
+                                           util::Rng& rng);
+
+}  // namespace ngs::sim

@@ -1,0 +1,60 @@
+#pragma once
+// Illumina-style read simulator (Sec. 3.4.1): uniform sampling of
+// L-substrings from both strands of a reference genome, substitution
+// errors drawn from a position-specific ErrorModel, Phred quality scores
+// correlated with the realized per-base error probability, and optional
+// ambiguous-base ('N') injection at low-quality positions.
+//
+// Exact per-read ground truth (origin, strand, error-free bases) is
+// recorded in ReadSet::truth, replacing the paper's RMAP-derived
+// approximate truth.
+
+#include <cstdint>
+#include <string_view>
+
+#include "seq/read.hpp"
+#include "sim/error_model.hpp"
+#include "util/rng.hpp"
+
+namespace ngs::sim {
+
+struct ReadSimConfig {
+  std::size_t read_length = 36;
+  /// Either a coverage target (reads = coverage*|G|/L) or an absolute count.
+  double coverage = 0.0;
+  std::size_t num_reads = 0;  // used when coverage == 0
+  bool both_strands = true;
+  /// Quality-score model: per-position mean Phred declines 3'-ward from
+  /// q_high toward q_low; per-base jitter sd. The realized error
+  /// probability of each base blends the ErrorModel position rate with
+  /// the drawn quality so that low-quality bases are genuinely more
+  /// error-prone (quality scores are informative but imperfect, per
+  /// Dohm et al. 2008).
+  int quality_high = 38;
+  int quality_low = 18;
+  double quality_sd = 4.0;
+  /// Probability that a base is replaced by 'N'; N's strike low-quality
+  /// bases preferentially (quality < ambig_quality_cutoff).
+  double ambiguous_rate = 0.0;
+  int ambig_quality_cutoff = 12;
+};
+
+struct SimulatedReads {
+  seq::ReadSet reads;
+  std::uint64_t substitution_errors = 0;  // total erroneous bases (pre-N)
+  std::uint64_t ambiguous_bases = 0;      // injected N's
+  double realized_error_rate() const {
+    const auto total = reads.total_bases();
+    return total == 0 ? 0.0
+                      : static_cast<double>(substitution_errors) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Simulates reads from `genome` with the given error model. The error
+/// model must cover at least read_length positions.
+SimulatedReads simulate_reads(std::string_view genome,
+                              const ErrorModel& model,
+                              const ReadSimConfig& config, util::Rng& rng);
+
+}  // namespace ngs::sim

@@ -1,0 +1,83 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ngs::util {
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           bool takes_value,
+                           const std::string& default_value) {
+  options_[name] = Option{help, takes_value, default_value};
+  if (takes_value && !default_value.empty()) {
+    values_[name] = default_value;
+  }
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      return true;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string name = arg.substr(2);
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      error_ = "unknown option: " + arg;
+      return false;
+    }
+    if (!it->second.takes_value) {
+      values_[name] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      error_ = "option " + arg + " requires a value";
+      return false;
+    }
+    values_[name] = argv[++i];
+  }
+  return true;
+}
+
+bool CliParser::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string CliParser::get(const std::string& name,
+                           const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+}
+
+double CliParser::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name << (opt.takes_value ? " <value>" : "") << "\n      "
+       << opt.help;
+    if (!opt.default_value.empty()) {
+      os << " (default: " << opt.default_value << ")";
+    }
+    os << "\n";
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+}  // namespace ngs::util

@@ -1,0 +1,61 @@
+#pragma once
+// Minimal command-line flag parsing for the tools/ executables:
+// --name value and --flag forms, with typed accessors, defaults, and
+// usage generation. No external dependencies.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ngs::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Registers an option (for usage output). `takes_value` false makes it
+  /// a boolean switch.
+  void add_option(const std::string& name, const std::string& help,
+                  bool takes_value = true,
+                  const std::string& default_value = "");
+
+  /// Parses argv. Returns false (and fills error()) on unknown options or
+  /// missing values. "--help" sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  bool help_requested() const noexcept { return help_; }
+  const std::string& error() const noexcept { return error_; }
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Positional (non-option) arguments in order.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string help;
+    bool takes_value = true;
+    std::string default_value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;  // ordered for usage output
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_ = false;
+};
+
+}  // namespace ngs::util

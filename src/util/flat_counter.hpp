@@ -1,0 +1,102 @@
+#pragma once
+// FlatCounter: open-addressing (linear probing) hash map from uint64 keys
+// to uint32 counts, tuned for the q-gram counting inner loops of SHREC
+// and CLOSET where std::unordered_map's node allocations dominate.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ngs::util {
+
+class FlatCounter {
+ public:
+  /// Reserves capacity for ~expected_keys at load factor <= 0.5.
+  explicit FlatCounter(std::size_t expected_keys = 1024) {
+    std::size_t cap = 16;
+    while (cap < expected_keys * 2) cap <<= 1;
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+  }
+
+  void add(std::uint64_t key, std::uint32_t delta = 1) {
+    if (key == kEmpty) {
+      sentinel_count_ += delta;
+      sentinel_used_ = true;
+      return;
+    }
+    if ((size_ + 1) * 2 > slots_.size()) grow();
+    Slot& s = find_slot(key);
+    if (s.key == kEmpty) {
+      s.key = key;
+      ++size_;
+    }
+    s.count += delta;
+  }
+
+  std::uint32_t count(std::uint64_t key) const {
+    if (key == kEmpty) return sentinel_used_ ? sentinel_count_ : 0;
+    const Slot& s = const_cast<FlatCounter*>(this)->find_slot(key);
+    return s.key == kEmpty ? 0 : s.count;
+  }
+
+  std::size_t distinct() const noexcept {
+    return size_ + (sentinel_used_ ? 1 : 0);
+  }
+
+  /// Visits every (key, count) pair in unspecified order.
+  void for_each(const std::function<void(std::uint64_t, std::uint32_t)>& fn)
+      const {
+    for (const Slot& s : slots_) {
+      if (s.key != kEmpty) fn(s.key, s.count);
+    }
+    if (sentinel_used_) fn(kEmpty, sentinel_count_);
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  struct Slot {
+    std::uint64_t key = kEmpty;
+    std::uint32_t count = 0;
+  };
+
+  static std::uint64_t mix(std::uint64_t x) noexcept {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  Slot& find_slot(std::uint64_t key) {
+    std::size_t i = mix(key) & mask_;
+    while (slots_[i].key != kEmpty && slots_[i].key != key) {
+      i = (i + 1) & mask_;
+    }
+    return slots_[i];
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.key == kEmpty) continue;
+      Slot& dst = find_slot(s.key);
+      dst.key = s.key;
+      dst.count = s.count;
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint32_t sentinel_count_ = 0;
+  bool sentinel_used_ = false;
+};
+
+}  // namespace ngs::util

@@ -1,0 +1,18 @@
+#pragma once
+// Peak-RSS reporting for the memory columns of Tables 2.3 and 3.4.
+
+#include <cstdint>
+
+namespace ngs::util {
+
+/// Peak resident set size of this process in bytes (from
+/// /proc/self/status VmHWM); returns 0 if unavailable.
+std::uint64_t peak_rss_bytes();
+
+/// Current resident set size in bytes (VmRSS); returns 0 if unavailable.
+std::uint64_t current_rss_bytes();
+
+/// Convenience: bytes -> fractional gigabytes.
+double to_gib(std::uint64_t bytes);
+
+}  // namespace ngs::util

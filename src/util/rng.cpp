@@ -1,0 +1,38 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace ngs::util {
+
+std::uint64_t Rng::poisson(double lambda) noexcept {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth inversion.
+    const double l = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // coverage-scale lambdas used in simulation (lambda >= 30).
+  const double x = normal(lambda, std::sqrt(lambda));
+  return x < 0.5 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return 0;
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace ngs::util

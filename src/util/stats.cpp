@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ngs::util {
+
+void Histogram::add(std::int64_t value, std::uint64_t count) {
+  bins_[value] += count;
+  total_ += count;
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t cum = 0;
+  for (const auto& [value, count] : bins_) {
+    cum += count;
+    if (cum >= target) return value;
+  }
+  return bins_.rbegin()->first;
+}
+
+double Histogram::fraction_below(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (const auto& [v, count] : bins_) {
+    if (v >= value) break;
+    below += count;
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [v, count] : bins_) {
+    sum += static_cast<double>(v) * static_cast<double>(count);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+double digamma(double x) {
+  // Recurrence to push x above 6, then asymptotic expansion.
+  double result = 0.0;
+  while (x < 10.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv;
+  result -= inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+  return result;
+}
+
+double log_gamma(double x) { return std::lgamma(x); }
+
+double log_sum_exp(const std::vector<double>& log_values) {
+  if (log_values.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(log_values.begin(), log_values.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double v : log_values) sum += std::exp(v - m);
+  return m + std::log(sum);
+}
+
+double binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    result *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+}  // namespace ngs::util

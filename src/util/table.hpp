@@ -1,0 +1,33 @@
+#pragma once
+// Plain-text table printer used by every bench binary to emit the paper's
+// table rows with aligned columns.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ngs::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  // Cell formatting helpers.
+  static std::string num(std::uint64_t v);
+  static std::string fixed(double v, int precision);
+  static std::string percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ngs::util

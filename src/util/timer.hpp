@@ -1,0 +1,79 @@
+#pragma once
+// Wall-clock timing helpers for the bench harness (Tables 2.3, 3.4, 4.3).
+
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ngs::util {
+
+/// Simple wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named stage timings in insertion order — the shape of the
+/// per-stage run-time rows in Table 4.3.
+class StageTimes {
+ public:
+  void add(const std::string& stage, double seconds) {
+    auto it = index_.find(stage);
+    if (it == index_.end()) {
+      index_.emplace(stage, entries_.size());
+      entries_.emplace_back(stage, seconds);
+    } else {
+      entries_[it->second].second += seconds;
+    }
+  }
+
+  double get(const std::string& stage) const {
+    auto it = index_.find(stage);
+    return it == index_.end() ? 0.0 : entries_[it->second].second;
+  }
+
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+
+  double total() const {
+    double t = 0.0;
+    for (const auto& [_, s] : entries_) t += s;
+    return t;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+/// RAII timer that adds its elapsed time to a StageTimes on destruction.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StageTimes& times, std::string stage)
+      : times_(times), stage_(std::move(stage)) {}
+  ~ScopedStageTimer() { times_.add(stage_, timer_.seconds()); }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  StageTimes& times_;
+  std::string stage_;
+  Timer timer_;
+};
+
+}  // namespace ngs::util

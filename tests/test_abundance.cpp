@@ -1,0 +1,110 @@
+// Tests for abundance profiling (the Chapter 4 motivating task) and for
+// the 454-style artifacts (chimeras, indels) in the metagenome simulator.
+
+#include <gtest/gtest.h>
+
+#include "closet/similarity.hpp"
+#include "eval/abundance.hpp"
+#include "sim/metagenome.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ngs;
+
+TEST(Abundance, ProfileSumsToOneAndDescends) {
+  const std::vector<std::uint32_t> labels{0, 0, 0, 1, 1, 2};
+  const auto profile = eval::abundance_profile(labels);
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_DOUBLE_EQ(profile[0], 0.5);
+  EXPECT_DOUBLE_EQ(profile[1], 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(profile[2], 1.0 / 6.0);
+  EXPECT_TRUE(eval::abundance_profile({}).empty());
+}
+
+TEST(Abundance, BrayCurtisBounds) {
+  EXPECT_DOUBLE_EQ(eval::bray_curtis({0.5, 0.3, 0.2}, {0.5, 0.3, 0.2}), 0.0);
+  EXPECT_DOUBLE_EQ(eval::bray_curtis({1.0}, {0.0, 1.0}), 1.0);
+  const double d = eval::bray_curtis({0.6, 0.4}, {0.5, 0.5});
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 0.2);
+}
+
+TEST(Abundance, MatchedErrorZeroForPerfectClustering) {
+  const std::vector<std::uint32_t> truth{0, 0, 1, 1, 1, 2};
+  const std::vector<std::uint32_t> clusters{7, 7, 9, 9, 9, 4};
+  EXPECT_DOUBLE_EQ(eval::matched_abundance_error(clusters, truth), 0.0);
+}
+
+TEST(Abundance, SplitClustersStillQuantifyCorrectly) {
+  // A taxon split into two clusters keeps its total abundance.
+  const std::vector<std::uint32_t> truth{0, 0, 0, 0, 1, 1};
+  const std::vector<std::uint32_t> clusters{5, 5, 6, 6, 7, 7};
+  EXPECT_DOUBLE_EQ(eval::matched_abundance_error(clusters, truth), 0.0);
+}
+
+TEST(Abundance, MergedTaxaLoseMass) {
+  // Two taxa merged into one cluster: the smaller taxon's mass is
+  // misattributed.
+  const std::vector<std::uint32_t> truth{0, 0, 0, 1};
+  const std::vector<std::uint32_t> clusters{5, 5, 5, 5};
+  EXPECT_NEAR(eval::matched_abundance_error(clusters, truth), 0.25, 1e-12);
+}
+
+TEST(MetagenomeArtifacts, ChimerasAreSplices) {
+  util::Rng rng(3);
+  sim::TaxonomySpec tspec;
+  tspec.branching = {2, 2, 2};
+  const auto tax = sim::simulate_taxonomy(tspec, rng);
+  sim::MetagenomeReadConfig cfg;
+  cfg.num_reads = 2000;
+  cfg.chimera_rate = 0.1;
+  cfg.error_rate = 0.0;
+  const auto sample = sim::simulate_metagenome_reads(tax, cfg, rng);
+  ASSERT_EQ(sample.chimeric.size(), 2000u);
+  std::size_t chimeras = 0;
+  for (const bool c : sample.chimeric) chimeras += c;
+  EXPECT_NEAR(static_cast<double>(chimeras) / 2000.0, 0.1, 0.03);
+}
+
+TEST(MetagenomeArtifacts, ConservedBlockRaisesCrossPhylumSimilarity) {
+  sim::TaxonomySpec plain;
+  plain.branching = {2, 2, 2};
+  sim::TaxonomySpec conserved = plain;
+  conserved.conserved_fraction = 0.5;
+  util::Rng rng1(9), rng2(9);
+  const auto tax_plain = sim::simulate_taxonomy(plain, rng1);
+  const auto tax_cons = sim::simulate_taxonomy(conserved, rng2);
+  auto cross_similarity = [](const sim::Taxonomy& tax) {
+    const auto a = closet::kmer_hashes(tax.species_sequences.front(), 15);
+    const auto b = closet::kmer_hashes(tax.species_sequences.back(), 15);
+    return closet::set_similarity(a, b);
+  };
+  EXPECT_GT(cross_similarity(tax_cons), cross_similarity(tax_plain) + 0.2);
+}
+
+TEST(MetagenomeArtifacts, IndelsBreakKmersButNotAlignment) {
+  util::Rng rng(11);
+  sim::TaxonomySpec tspec;
+  tspec.branching = {1, 1, 1};
+  const auto tax = sim::simulate_taxonomy(tspec, rng);
+  sim::MetagenomeReadConfig cfg;
+  cfg.num_reads = 40;
+  cfg.error_rate = 0.0;
+  cfg.indel_rate = 0.02;  // heavy 454-style indels
+  cfg.both_strands = false;
+  cfg.amplicon_sites = 1;
+  cfg.amplicon_sd = 1.0;
+  const auto sample = sim::simulate_metagenome_reads(tax, cfg, rng);
+  // Reads of the single species, same window, but with indels: the
+  // alignment-based F stays high where the kmer-set F suffers.
+  const auto& r1 = sample.reads.reads[0].bases;
+  const auto& r2 = sample.reads.reads[1].bases;
+  const double kmer_f = closet::set_similarity(closet::kmer_hashes(r1, 15),
+                                               closet::kmer_hashes(r2, 15));
+  const double aln_f = closet::banded_alignment_identity(r1, r2, 24);
+  EXPECT_GT(aln_f, 0.9);
+  EXPECT_GT(aln_f, kmer_f + 0.1);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Tests for the prior-art baselines the dissertation surveys: the SAP
+// corrector, HiTEC-style witness correction, and Quake-style q-mer
+// weighting.
+
+#include <gtest/gtest.h>
+
+#include "baselines/hitec.hpp"
+#include "baselines/qmer.hpp"
+#include "baselines/sap.hpp"
+#include "eval/correction_metrics.hpp"
+#include "eval/kmer_classification.hpp"
+#include "sim/genome.hpp"
+#include "sim/read_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ngs;
+
+struct Setup {
+  std::string genome;
+  sim::SimulatedReads sim;
+};
+
+Setup make_setup(std::uint64_t seed, double err = 0.008,
+                 double coverage = 50.0) {
+  util::Rng rng(seed);
+  sim::GenomeSpec gspec;
+  gspec.length = 15000;
+  Setup s;
+  s.genome = sim::simulate_genome(gspec, rng).sequence;
+  const auto model = sim::ErrorModel::illumina(36, err);
+  sim::ReadSimConfig cfg;
+  cfg.read_length = 36;
+  cfg.coverage = coverage;
+  s.sim = sim::simulate_reads(s.genome, model, cfg, rng);
+  return s;
+}
+
+TEST(Sap, WeakKmerCounting) {
+  const auto setup = make_setup(3);
+  baselines::SapParams params;
+  params.k = 11;
+  params.solid_threshold = 3;
+  baselines::SapCorrector corrector(setup.sim.reads, params);
+  // An error-free genomic window at decent coverage has no weak kmers.
+  EXPECT_EQ(corrector.weak_kmers(setup.genome.substr(1000, 36)), 0);
+  // Random sequence is all-weak.
+  util::Rng rng(4);
+  const auto junk = sim::random_sequence(36, {0.25, 0.25, 0.25, 0.25}, rng);
+  EXPECT_EQ(corrector.weak_kmers(junk), 36 - 11 + 1);
+}
+
+TEST(Sap, FixesMostReads) {
+  const auto setup = make_setup(5);
+  baselines::SapParams params;
+  params.k = 11;
+  baselines::SapCorrector corrector(setup.sim.reads, params);
+  baselines::SapStats stats;
+  const auto corrected = corrector.correct_all(setup.sim.reads, stats);
+  const auto m = eval::evaluate_correction(setup.sim.reads, corrected);
+  EXPECT_GT(m.gain(), 0.4) << "TP=" << m.tp << " FP=" << m.fp;
+  EXPECT_GT(m.specificity(), 0.995);
+  EXPECT_GT(stats.reads_fixed, 0u);
+  EXPECT_GT(stats.reads_clean, stats.reads_unfixable);
+}
+
+TEST(Sap, CleanReadUntouched) {
+  const auto setup = make_setup(7, 1e-7);
+  baselines::SapParams params;
+  params.k = 11;
+  baselines::SapCorrector corrector(setup.sim.reads, params);
+  baselines::SapStats stats;
+  const auto corrected = corrector.correct_all(setup.sim.reads, stats);
+  const auto m = eval::evaluate_correction(setup.sim.reads, corrected);
+  EXPECT_GT(m.specificity(), 0.9995);
+}
+
+TEST(Hitec, CorrectsWithWitnessSupport) {
+  const auto setup = make_setup(9);
+  baselines::HitecParams params;
+  params.k = 11;
+  baselines::HitecCorrector corrector(setup.sim.reads, params);
+  baselines::HitecStats stats;
+  const auto corrected = corrector.correct_all(setup.sim.reads, stats);
+  const auto m = eval::evaluate_correction(setup.sim.reads, corrected);
+  EXPECT_GT(m.gain(), 0.4) << "TP=" << m.tp << " FP=" << m.fp;
+  EXPECT_GT(m.specificity(), 0.995);
+  EXPECT_GT(stats.corrections, 0u);
+}
+
+TEST(Hitec, ShortReadsPassThrough) {
+  const auto setup = make_setup(11);
+  baselines::HitecParams params;
+  params.k = 11;
+  baselines::HitecCorrector corrector(setup.sim.reads, params);
+  baselines::HitecStats stats;
+  const seq::Read tiny{"t", "ACGTACGT", {}};
+  EXPECT_EQ(corrector.correct(tiny, stats).bases, "ACGT" "ACGT");
+}
+
+TEST(Qmer, WeightsAreBoundedByCounts) {
+  const auto setup = make_setup(13);
+  baselines::QmerCounter counter(setup.sim.reads, 11);
+  const auto& w = counter.weights();
+  const auto y = counter.counts();
+  ASSERT_EQ(w.size(), y.size());
+  for (std::size_t i = 0; i < w.size(); i += 17) {
+    ASSERT_GE(w[i], 0.0);
+    ASSERT_LE(w[i], y[i] + 1e-9);
+  }
+}
+
+TEST(Qmer, WeightsSharpenErrorSeparation) {
+  // Error kmers carry low-quality bases, so their quality weight drops
+  // further below the trusted mass than their raw count does: the best
+  // achievable FP+FN with weights is no worse than with counts.
+  const auto setup = make_setup(15, 0.015, 60.0);
+  baselines::QmerCounter counter(setup.sim.reads, 11);
+  const auto genome_spec =
+      kspec::KSpectrum::build_from_sequence(setup.genome, 11, true);
+  const auto truth = eval::genome_truth(counter.spectrum(), genome_spec);
+  const auto thresholds = eval::linear_thresholds(80.0, 0.25);
+  const auto by_weight =
+      eval::best_point(eval::sweep_thresholds(counter.weights(), truth,
+                                              thresholds));
+  const auto by_count = eval::best_point(
+      eval::sweep_thresholds(counter.counts(), truth, thresholds));
+  EXPECT_LE(by_weight.wrong(), by_count.wrong() + by_count.wrong() / 10);
+}
+
+}  // namespace

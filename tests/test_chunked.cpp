@@ -1,0 +1,99 @@
+// Tests for the bounded-memory spectrum builder (Sec. 2.3's
+// divide-and-merge strategy).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/fastx.hpp"
+#include "kspec/chunked_builder.hpp"
+#include "sim/genome.hpp"
+#include "sim/read_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ngs;
+
+sim::SimulatedReads make_run(std::uint64_t seed) {
+  util::Rng rng(seed);
+  sim::GenomeSpec gspec;
+  gspec.length = 20000;
+  const auto genome = sim::simulate_genome(gspec, rng);
+  const auto model = sim::ErrorModel::illumina(36, 0.01);
+  sim::ReadSimConfig cfg;
+  cfg.read_length = 36;
+  cfg.coverage = 25.0;
+  return sim::simulate_reads(genome.sequence, model, cfg, rng);
+}
+
+TEST(ChunkedBuilder, MatchesMonolithicBuild) {
+  const auto run = make_run(3);
+  const auto reference = kspec::KSpectrum::build(run.reads, 13, true);
+
+  for (const std::size_t batch : {2048ul, 16384ul, std::size_t{1} << 22}) {
+    kspec::ChunkedSpectrumBuilder builder(13, true, batch);
+    builder.add_reads(run.reads);
+    int rounds = 0;
+    const auto chunked = builder.finish(&rounds);
+    ASSERT_EQ(chunked.size(), reference.size()) << "batch=" << batch;
+    ASSERT_EQ(chunked.total_instances(), reference.total_instances());
+    for (std::size_t i = 0; i < reference.size(); i += 101) {
+      ASSERT_EQ(chunked.code_at(i), reference.code_at(i));
+      ASSERT_EQ(chunked.count_at(i), reference.count_at(i));
+    }
+  }
+}
+
+TEST(ChunkedBuilder, PeakBufferIsBounded) {
+  const auto run = make_run(5);
+  constexpr std::size_t kBatch = 4096;
+  kspec::ChunkedSpectrumBuilder builder(13, true, kBatch);
+  builder.add_reads(run.reads);
+  // A read contributes at most 2*(L-k+1) instances past the threshold.
+  EXPECT_LE(builder.peak_buffered(), kBatch + 2 * 36);
+  (void)builder.finish();
+}
+
+TEST(ChunkedBuilder, StreamsFastqWithoutReadSet) {
+  const auto run = make_run(7);
+  std::stringstream fastq;
+  io::write_fastq(fastq, run.reads);
+
+  kspec::ChunkedSpectrumBuilder builder(13, true, 8192);
+  builder.add_fastq(fastq);
+  const auto streamed = builder.finish();
+  const auto reference = kspec::KSpectrum::build(run.reads, 13, true);
+  EXPECT_EQ(streamed.size(), reference.size());
+  EXPECT_EQ(streamed.total_instances(), reference.total_instances());
+}
+
+TEST(ChunkedBuilder, ReusableAfterFinish) {
+  kspec::ChunkedSpectrumBuilder builder(8, false, 2048);
+  builder.add_read("ACGTACGTACGT");
+  const auto first = builder.finish();
+  EXPECT_GT(first.size(), 0u);
+  builder.add_read("TTTTTTTTTT");
+  const auto second = builder.finish();
+  EXPECT_TRUE(second.contains(seq::encode_kmer("TTTTTTTT").value()));
+  EXPECT_FALSE(second.contains(seq::encode_kmer("ACGTACGT").value()));
+}
+
+TEST(ChunkedBuilder, EmptyInput) {
+  kspec::ChunkedSpectrumBuilder builder(11);
+  const auto spec = builder.finish();
+  EXPECT_EQ(spec.size(), 0u);
+  EXPECT_TRUE(spec.empty());
+}
+
+TEST(KSpectrum, FromSortedCountsValidates) {
+  EXPECT_THROW(kspec::KSpectrum::from_sorted_counts({1, 2}, {1}, 8),
+               std::invalid_argument);
+  EXPECT_THROW(kspec::KSpectrum::from_sorted_counts({2, 1}, {1, 1}, 8),
+               std::invalid_argument);
+  const auto s = kspec::KSpectrum::from_sorted_counts({5, 9}, {3, 4}, 8);
+  EXPECT_EQ(s.count(5), 3u);
+  EXPECT_EQ(s.total_instances(), 7u);
+}
+
+}  // namespace

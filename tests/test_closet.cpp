@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "closet/closet.hpp"
+#include "closet/similarity.hpp"
+#include "seq/alphabet.hpp"
+#include "eval/ari.hpp"
+#include "sim/metagenome.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ngs;
+
+TEST(Similarity, KmerHashesAreStrandInvariant) {
+  const auto fwd = closet::kmer_hashes("ACGTACGTACGTACGTACGT", 15);
+  const auto rev = closet::kmer_hashes(
+      seq::reverse_complement("ACGTACGTACGTACGTACGT"), 15);
+  EXPECT_EQ(fwd, rev);
+  EXPECT_FALSE(fwd.empty());
+}
+
+TEST(Similarity, IdenticalReadsScoreOne) {
+  const std::string r = "ACGTTGCAAGGCTTACGGATCCAGTTACGGTA";
+  const auto h = closet::kmer_hashes(r, 15);
+  EXPECT_DOUBLE_EQ(closet::set_similarity(h, h), 1.0);
+}
+
+TEST(Similarity, ContainmentScoresOne) {
+  util::Rng rng(3);
+  std::string gene;
+  for (int i = 0; i < 400; ++i) {
+    gene.push_back(seq::code_to_base(static_cast<std::uint8_t>(rng.below(4))));
+  }
+  const auto whole = closet::kmer_hashes(gene, 15);
+  const auto part = closet::kmer_hashes(gene.substr(100, 120), 15);
+  EXPECT_GT(closet::set_similarity(whole, part), 0.99);
+}
+
+TEST(Similarity, UnrelatedReadsScoreNearZero) {
+  util::Rng rng(4);
+  auto random_read = [&] {
+    std::string s;
+    for (int i = 0; i < 300; ++i) {
+      s.push_back(seq::code_to_base(static_cast<std::uint8_t>(rng.below(4))));
+    }
+    return s;
+  };
+  const auto a = closet::kmer_hashes(random_read(), 15);
+  const auto b = closet::kmer_hashes(random_read(), 15);
+  EXPECT_LT(closet::set_similarity(a, b), 0.02);
+}
+
+TEST(Similarity, SketchPartitionsHashes) {
+  const auto h = closet::kmer_hashes(
+      "ACGTTGCAAGGCTTACGGATCCAGTTACGGTAACGTGGCATCAGGTTAC", 15);
+  std::size_t total = 0;
+  for (std::uint64_t l = 0; l < 8; ++l) {
+    total += closet::sketch_of(h, 8, l).size();
+  }
+  EXPECT_EQ(total, h.size());
+}
+
+TEST(Similarity, IntersectionSize) {
+  EXPECT_EQ(closet::intersection_size({1, 2, 3}, {2, 3, 4}), 2u);
+  EXPECT_EQ(closet::intersection_size({}, {1}), 0u);
+}
+
+TEST(Similarity, BandedAlignmentIdentity) {
+  EXPECT_DOUBLE_EQ(closet::banded_alignment_identity("ACGTACGT", "ACGTACGT"),
+                   1.0);
+  // One substitution in 8 columns.
+  EXPECT_NEAR(closet::banded_alignment_identity("ACGTACGT", "ACGAACGT"),
+              7.0 / 8.0, 1e-9);
+  // A single insertion shifts but the band absorbs it.
+  EXPECT_GT(closet::banded_alignment_identity("ACGTACGTACGT", "ACGTTACGTACGT"),
+            0.9);
+  EXPECT_LT(closet::banded_alignment_identity("AAAAAAAA", "CCCCCCCC"), 0.01);
+}
+
+TEST(Closet, PairKeyOrdersEndpoints) {
+  EXPECT_EQ(closet::pair_key(5, 3), closet::pair_key(3, 5));
+  EXPECT_EQ(closet::pair_key(3, 5) >> 32, 3u);
+}
+
+TEST(Closet, ToPartitionPrefersLargestCluster) {
+  std::vector<closet::Cluster> clusters(2);
+  clusters[0].verts = {0, 1, 2};
+  clusters[1].verts = {2, 3};
+  const auto labels = closet::Closet::to_partition(clusters, 5);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], labels[2]);  // read 2 joins the larger cluster
+  EXPECT_EQ(labels[3], 5u + 1u);
+  EXPECT_EQ(labels[4], 4u);  // untouched singleton
+}
+
+class ClosetPipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(55);
+    sim::TaxonomySpec tspec;
+    tspec.branching = {3, 3, 3};
+    tspec.divergence = {0.12, 0.06, 0.02};
+    taxonomy_ = sim::simulate_taxonomy(tspec, rng);
+    sim::MetagenomeReadConfig cfg;
+    cfg.num_reads = 1200;
+    cfg.error_rate = 0.003;
+    sample_ = sim::simulate_metagenome_reads(taxonomy_, cfg, rng);
+  }
+  sim::Taxonomy taxonomy_;
+  sim::MetagenomeSample sample_;
+};
+
+TEST_F(ClosetPipeline, EndToEndProducesClusters) {
+  closet::ClosetParams params;
+  params.thresholds = {0.95, 0.90};
+  closet::Closet closet(params);
+  const auto result = closet.run(sample_.reads);
+
+  EXPECT_GT(result.confirmed_edges, 0u);
+  EXPECT_GE(result.unique_candidate_pairs, result.confirmed_edges);
+  ASSERT_EQ(result.levels.size(), 2u);
+  EXPECT_GT(result.levels[0].resulting_clusters, 0u);
+  // Lower threshold admits at least as many edges.
+  EXPECT_GE(result.levels[1].edges_active, result.levels[0].edges_active);
+
+  // Every cluster satisfies the gamma density invariant.
+  for (const auto& level : result.levels) {
+    for (const auto& c : level.clusters) {
+      EXPECT_GE(c.density() + 1e-9, params.gamma);
+      // Vertex list is sorted and unique.
+      ASSERT_TRUE(std::is_sorted(c.verts.begin(), c.verts.end()));
+      ASSERT_EQ(std::set<std::uint32_t>(c.verts.begin(), c.verts.end()).size(),
+                c.verts.size());
+    }
+  }
+}
+
+TEST_F(ClosetPipeline, EdgesConnectMostlySameSpecies) {
+  closet::ClosetParams params;
+  params.thresholds = {0.90};
+  closet::Closet closet(params);
+  const auto result = closet.run(sample_.reads);
+  ASSERT_GT(result.confirmed_edges, 10u);
+  std::uint64_t same = 0;
+  for (const auto& e : result.edges) {
+    if (e.score >= 0.90 &&
+        sample_.species_of[e.a] == sample_.species_of[e.b]) {
+      ++same;
+    }
+  }
+  std::uint64_t total = 0;
+  for (const auto& e : result.edges) total += (e.score >= 0.90);
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(total), 0.9);
+}
+
+TEST_F(ClosetPipeline, ClusteringAgreesWithSpeciesTruth) {
+  closet::ClosetParams params;
+  params.thresholds = {0.90};
+  closet::Closet closet(params);
+  const auto result = closet.run(sample_.reads);
+  const auto labels =
+      closet::Closet::to_partition(result.levels[0].clusters,
+                                   sample_.reads.size());
+  const auto ari = eval::adjusted_rand_index(labels, sample_.species_of);
+  // Clusters must be far better than chance against species truth.
+  EXPECT_GT(ari.ari, 0.2);
+}
+
+TEST_F(ClosetPipeline, StageTimesCoverAllStages) {
+  closet::ClosetParams params;
+  params.thresholds = {0.95};
+  closet::Closet closet(params);
+  const auto result = closet.run(sample_.reads);
+  EXPECT_GT(result.times.get("sketching"), 0.0);
+  EXPECT_GT(result.times.get("validation"), 0.0);
+  EXPECT_GE(result.times.get("clustering"), 0.0);
+}
+
+TEST(ClosetSmall, HandcraftedQuasiClique) {
+  // Four reads: three near-identical (one species), one unrelated.
+  util::Rng rng(9);
+  std::string gene;
+  for (int i = 0; i < 300; ++i) {
+    gene.push_back(seq::code_to_base(static_cast<std::uint8_t>(rng.below(4))));
+  }
+  std::string other;
+  for (int i = 0; i < 300; ++i) {
+    other.push_back(seq::code_to_base(static_cast<std::uint8_t>(rng.below(4))));
+  }
+  seq::ReadSet reads;
+  reads.reads.push_back({"a", gene, {}});
+  reads.reads.push_back({"b", gene.substr(0, 280), {}});
+  reads.reads.push_back({"c", seq::reverse_complement(gene.substr(10, 280)), {}});
+  reads.reads.push_back({"d", other, {}});
+
+  closet::ClosetParams params;
+  params.thresholds = {0.9};
+  params.cmin = 0.5;
+  closet::Closet closet(params);
+  const auto result = closet.run(reads);
+  ASSERT_EQ(result.levels.size(), 1u);
+  ASSERT_EQ(result.levels[0].resulting_clusters, 1u);
+  EXPECT_EQ(result.levels[0].clusters[0].verts,
+            (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "eval/ari.hpp"
+#include "eval/correction_metrics.hpp"
+#include "eval/kmer_classification.hpp"
+
+namespace {
+
+using namespace ngs;
+
+TEST(CorrectionMetrics, ClassifiesAllOutcomes) {
+  //            original  corrected truth
+  // pos 0:     A         A         A      -> TN
+  // pos 1:     C         G         C      -> FP
+  // pos 2:     G         T         T      -> TP
+  // pos 3:     T         T         A      -> FN
+  // pos 4:     A         C         G      -> FN + wrong_target
+  const auto c = eval::evaluate_read("ACGTA", "AGTTC", "ACTAG");
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fn, 2u);
+  EXPECT_EQ(c.wrong_target, 1u);
+  EXPECT_DOUBLE_EQ(c.sensitivity(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.gain(), 0.0);  // (1 - 1) / 3
+  EXPECT_DOUBLE_EQ(c.eba(), 0.5);
+}
+
+TEST(CorrectionMetrics, PerfectCorrectionGivesUnitGain) {
+  const auto c = eval::evaluate_read("AAGT", "ACGT", "ACGT");
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 0u);
+  EXPECT_DOUBLE_EQ(c.gain(), 1.0);
+  EXPECT_DOUBLE_EQ(c.specificity(), 1.0);
+}
+
+TEST(CorrectionMetrics, NegativeGainWhenCorruptingData) {
+  // No true errors; corrector damages two bases.
+  const auto c = eval::evaluate_read("ACGTACGT", "TCGTACGA", "ACGTACGT");
+  EXPECT_EQ(c.fp, 2u);
+  EXPECT_EQ(c.tp, 0u);
+  EXPECT_LE(c.gain(), 0.0);
+}
+
+TEST(CorrectionMetrics, NBasesCountAsErrors) {
+  // N in original; corrected to true base -> TP.
+  const auto good = eval::evaluate_read("ANGT", "ACGT", "ACGT");
+  EXPECT_EQ(good.tp, 1u);
+  // N left alone -> FN.
+  const auto bad = eval::evaluate_read("ANGT", "ANGT", "ACGT");
+  EXPECT_EQ(bad.fn, 1u);
+}
+
+TEST(CorrectionMetrics, ReadSetAggregation) {
+  seq::ReadSet set;
+  set.reads.push_back({"a", "AAAA", {}});
+  set.reads.push_back({"b", "CCCC", {}});
+  set.truth.push_back({0, false, "AAAT"});
+  set.truth.push_back({0, false, "CCCC"});
+  std::vector<seq::Read> corrected = {{"a", "AAAT", {}}, {"b", "CCCC", {}}};
+  const auto c = eval::evaluate_correction(set, corrected);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.tn, 7u);
+  EXPECT_THROW(eval::evaluate_correction(set, {}), std::invalid_argument);
+}
+
+TEST(CorrectionMetrics, AmbiguousAccuracy) {
+  seq::ReadSet set;
+  set.reads.push_back({"a", "ANNA", {}});
+  set.truth.push_back({0, false, "ACGA"});
+  std::vector<seq::Read> corrected = {{"a", "ACTA", {}}};
+  const auto stats = eval::evaluate_ambiguous(set, corrected);
+  EXPECT_EQ(stats.total_n, 2u);
+  EXPECT_EQ(stats.resolved_correctly, 1u);
+  EXPECT_DOUBLE_EQ(stats.accuracy(), 0.5);
+}
+
+TEST(KmerClassification, SweepCountsFpFn) {
+  // scores: valid kmers {5, 10}, invalid {1, 2}.
+  const std::vector<double> scores{5, 10, 1, 2};
+  const std::vector<bool> truth{true, true, false, false};
+  const auto sweep =
+      eval::sweep_thresholds(scores, truth, {0.0, 1.5, 3.0, 6.0, 20.0});
+  // threshold 0: nothing classified erroneous -> FN = 2, FP = 0.
+  EXPECT_EQ(sweep[0].fp, 0u);
+  EXPECT_EQ(sweep[0].fn, 2u);
+  // threshold 3: invalid below, valid above -> perfect.
+  EXPECT_EQ(sweep[2].wrong(), 0u);
+  // threshold 20: everything below -> FP = 2, FN = 0.
+  EXPECT_EQ(sweep[4].fp, 2u);
+  EXPECT_EQ(sweep[4].fn, 0u);
+  EXPECT_EQ(eval::best_point(sweep).wrong(), 0u);
+  EXPECT_DOUBLE_EQ(eval::best_point(sweep).threshold, 3.0);
+}
+
+TEST(KmerClassification, GenomeTruth) {
+  const auto genome_spec = kspec::KSpectrum::from_codes(
+      {seq::encode_kmer("ACGT").value()}, 4);
+  const auto read_spec = kspec::KSpectrum::from_codes(
+      {seq::encode_kmer("ACGT").value(), seq::encode_kmer("TTTT").value()},
+      4);
+  const auto truth = eval::genome_truth(read_spec, genome_spec);
+  ASSERT_EQ(truth.size(), 2u);
+  EXPECT_TRUE(truth[read_spec.index_of(seq::encode_kmer("ACGT").value())]);
+  EXPECT_FALSE(truth[read_spec.index_of(seq::encode_kmer("TTTT").value())]);
+}
+
+TEST(Ari, IdenticalClusteringsScoreOne) {
+  const std::vector<std::uint32_t> u{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(eval::adjusted_rand_index(u, u).ari, 1.0);
+  // Label permutation does not matter.
+  const std::vector<std::uint32_t> v{5, 5, 9, 9, 7, 7};
+  EXPECT_DOUBLE_EQ(eval::adjusted_rand_index(u, v).ari, 1.0);
+}
+
+TEST(Ari, IndependentClusteringsScoreNearZero) {
+  // Crossed design: each cluster of U is split evenly among clusters of V.
+  std::vector<std::uint32_t> u, v;
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    u.push_back(i % 2);
+    v.push_back((i / 2) % 2);
+  }
+  EXPECT_NEAR(eval::adjusted_rand_index(u, v).ari, 0.0, 0.02);
+}
+
+TEST(Ari, PartialAgreementBetweenZeroAndOne) {
+  std::vector<std::uint32_t> u, v;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    u.push_back(i % 3);
+    v.push_back(i % 3 == 2 && i % 2 == 0 ? 1u : i % 3);  // corrupt some
+  }
+  const double ari = eval::adjusted_rand_index(u, v).ari;
+  EXPECT_GT(ari, 0.3);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(Ari, RejectsBadInput) {
+  EXPECT_THROW(eval::adjusted_rand_index({}, {}), std::invalid_argument);
+  EXPECT_THROW(eval::adjusted_rand_index({1, 2}, {1}), std::invalid_argument);
+}
+
+}  // namespace

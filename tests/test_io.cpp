@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/fastx.hpp"
+
+namespace {
+
+using namespace ngs;
+
+seq::ReadSet two_reads() {
+  seq::ReadSet set;
+  seq::Read a;
+  a.id = "read1";
+  a.bases = "ACGTACGT";
+  a.quality = {30, 31, 32, 33, 34, 35, 36, 37};
+  seq::Read b;
+  b.id = "read2 with description";
+  b.bases = "TTNNA";
+  b.quality = {2, 2, 2, 40, 40};
+  set.reads = {a, b};
+  return set;
+}
+
+TEST(Fastq, RoundTrip) {
+  const auto original = two_reads();
+  std::stringstream ss;
+  io::write_fastq(ss, original);
+  const auto parsed = io::read_fastq(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(parsed.reads[i].id, original.reads[i].id);
+    EXPECT_EQ(parsed.reads[i].bases, original.reads[i].bases);
+    EXPECT_EQ(parsed.reads[i].quality, original.reads[i].quality);
+  }
+}
+
+TEST(Fastq, DefaultQualityWhenMissing) {
+  seq::ReadSet set;
+  set.reads.push_back({"r", "ACGT", {}});
+  std::stringstream ss;
+  io::write_fastq(ss, set, 25);
+  const auto parsed = io::read_fastq(ss);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.reads[0].quality,
+            (std::vector<std::uint8_t>{25, 25, 25, 25}));
+}
+
+TEST(Fastq, RejectsMalformedRecords) {
+  {
+    std::stringstream ss("not-a-header\nACGT\n+\nIIII\n");
+    EXPECT_THROW(io::read_fastq(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("@r\nACGT\n+\nII\n");  // quality length mismatch
+    EXPECT_THROW(io::read_fastq(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("@r\nACGT\n");  // truncated
+    EXPECT_THROW(io::read_fastq(ss), std::runtime_error);
+  }
+}
+
+TEST(Fastq, HandlesCrLf) {
+  std::stringstream ss("@r\r\nACGT\r\n+\r\nIIII\r\n");
+  const auto parsed = io::read_fastq(ss);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.reads[0].bases, "ACGT");
+}
+
+TEST(Fasta, RoundTripMultiline) {
+  seq::ReadSet set;
+  set.reads.push_back({"genome", std::string(200, 'A'), {}});
+  set.reads[0].bases[50] = 'C';
+  std::stringstream ss;
+  io::write_fasta(ss, set, 60);
+  const auto parsed = io::read_fasta(ss);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.reads[0].bases, set.reads[0].bases);
+  EXPECT_EQ(parsed.reads[0].id, "genome");
+}
+
+TEST(Fasta, MultipleRecordsAndBlankLines) {
+  std::stringstream ss(">a\nACGT\n\n>b\nTT\nGG\n");
+  const auto parsed = io::read_fasta(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.reads[0].bases, "ACGT");
+  EXPECT_EQ(parsed.reads[1].bases, "TTGG");
+}
+
+TEST(Fasta, RejectsSequenceBeforeHeader) {
+  std::stringstream ss("ACGT\n>a\nACGT\n");
+  EXPECT_THROW(io::read_fasta(ss), std::runtime_error);
+}
+
+TEST(FastxFiles, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/ngs_test.fastq";
+  const auto original = two_reads();
+  io::write_fastq_file(path, original);
+  const auto parsed = io::read_fastq_file(path);
+  ASSERT_EQ(parsed.size(), original.size());
+  EXPECT_EQ(parsed.reads[1].bases, original.reads[1].bases);
+  EXPECT_THROW(io::read_fastq_file("/nonexistent/nope.fastq"),
+               std::runtime_error);
+}
+
+}  // namespace

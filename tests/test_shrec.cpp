@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "eval/correction_metrics.hpp"
+#include "shrec/shrec.hpp"
+#include "sim/genome.hpp"
+#include "sim/read_sim.hpp"
+#include "util/flat_counter.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ngs;
+
+TEST(FlatCounter, BasicCounting) {
+  util::FlatCounter c(4);
+  c.add(10);
+  c.add(10);
+  c.add(20, 5);
+  EXPECT_EQ(c.count(10), 2u);
+  EXPECT_EQ(c.count(20), 5u);
+  EXPECT_EQ(c.count(30), 0u);
+  EXPECT_EQ(c.distinct(), 2u);
+}
+
+TEST(FlatCounter, GrowsPastInitialCapacity) {
+  util::FlatCounter c(2);
+  for (std::uint64_t i = 0; i < 1000; ++i) c.add(i * 7919);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(c.count(i * 7919), 1u) << i;
+  }
+  EXPECT_EQ(c.distinct(), 1000u);
+}
+
+TEST(FlatCounter, SentinelKey) {
+  util::FlatCounter c(4);
+  c.add(~std::uint64_t{0}, 3);
+  EXPECT_EQ(c.count(~std::uint64_t{0}), 3u);
+  EXPECT_EQ(c.distinct(), 1u);
+}
+
+TEST(FlatCounter, ForEachVisitsAll) {
+  util::FlatCounter c(8);
+  c.add(1, 2);
+  c.add(2, 3);
+  std::uint64_t total = 0;
+  c.for_each([&](std::uint64_t, std::uint32_t count) { total += count; });
+  EXPECT_EQ(total, 5u);
+}
+
+class ShrecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(77);
+    sim::GenomeSpec gspec;
+    gspec.length = 20000;
+    genome_ = sim::simulate_genome(gspec, rng).sequence;
+    const auto model = sim::ErrorModel::illumina(36, 0.008);
+    sim::ReadSimConfig cfg;
+    cfg.read_length = 36;
+    cfg.coverage = 60.0;
+    sim_ = sim::simulate_reads(genome_, model, cfg, rng);
+  }
+  std::string genome_;
+  sim::SimulatedReads sim_;
+};
+
+TEST_F(ShrecTest, RequiresGenomeLength) {
+  shrec::ShrecParams p;
+  p.genome_length = 0;
+  EXPECT_THROW(shrec::ShrecCorrector{p}, std::invalid_argument);
+}
+
+TEST_F(ShrecTest, RemovesErrorsAtHighCoverage) {
+  shrec::ShrecParams p;
+  p.genome_length = genome_.size();
+  shrec::ShrecCorrector corrector(p);
+  shrec::ShrecStats stats;
+  const auto corrected = corrector.correct_all(sim_.reads, stats);
+  const auto metrics = eval::evaluate_correction(sim_.reads, corrected);
+  EXPECT_GT(metrics.gain(), 0.3)
+      << "TP=" << metrics.tp << " FP=" << metrics.fp << " FN=" << metrics.fn;
+  EXPECT_GT(metrics.specificity(), 0.99);
+  EXPECT_GT(stats.corrections_applied, 0u);
+}
+
+TEST_F(ShrecTest, CleanDataMostlyUntouched) {
+  util::Rng rng(78);
+  const auto model = sim::ErrorModel::illumina(36, 1e-7);
+  sim::ReadSimConfig cfg;
+  cfg.read_length = 36;
+  cfg.coverage = 40.0;
+  const auto clean = sim::simulate_reads(genome_, model, cfg, rng);
+  shrec::ShrecParams p;
+  p.genome_length = genome_.size();
+  shrec::ShrecCorrector corrector(p);
+  shrec::ShrecStats stats;
+  const auto corrected = corrector.correct_all(clean.reads, stats);
+  const auto metrics = eval::evaluate_correction(clean.reads, corrected);
+  EXPECT_GT(metrics.specificity(), 0.999);
+}
+
+TEST_F(ShrecTest, EmptyInputIsFine) {
+  shrec::ShrecParams p;
+  p.genome_length = 1000;
+  shrec::ShrecCorrector corrector(p);
+  shrec::ShrecStats stats;
+  seq::ReadSet empty;
+  EXPECT_TRUE(corrector.correct_all(empty, stats).empty());
+}
+
+TEST_F(ShrecTest, StricterAlphaFlagsFewerPositions) {
+  shrec::ShrecParams lenient;
+  lenient.genome_length = genome_.size();
+  lenient.alpha = 2.0;
+  shrec::ShrecParams strict = lenient;
+  strict.alpha = 6.0;
+  shrec::ShrecStats s_len, s_str;
+  shrec::ShrecCorrector(lenient).correct_all(sim_.reads, s_len);
+  shrec::ShrecCorrector(strict).correct_all(sim_.reads, s_str);
+  EXPECT_LE(s_str.flagged_positions, s_len.flagged_positions);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/memory.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using ngs::util::Histogram;
+using ngs::util::Rng;
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(1), 0u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  ngs::util::RunningMoments m;
+  for (int i = 0; i < 200000; ++i) m.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(m.mean(), 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(m.variance()), 2.0, 0.05);
+}
+
+TEST(Rng, GammaMoments) {
+  Rng rng(13);
+  ngs::util::RunningMoments m;
+  const double shape = 3.0, scale = 2.0;
+  for (int i = 0; i < 200000; ++i) m.add(rng.gamma(shape, scale));
+  EXPECT_NEAR(m.mean(), shape * scale, 0.1);
+  EXPECT_NEAR(m.variance(), shape * scale * scale, 0.4);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(17);
+  ngs::util::RunningMoments small, large;
+  for (int i = 0; i < 100000; ++i) {
+    small.add(static_cast<double>(rng.poisson(3.5)));
+    large.add(static_cast<double>(rng.poisson(80.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.5, 0.1);
+  EXPECT_NEAR(large.mean(), 80.0, 0.5);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(23);
+  const std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 100000; ++i) {
+    counts[rng.categorical(w)]++;
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 100000.0, 0.6, 0.02);
+}
+
+TEST(Histogram, QuantileAndMean) {
+  Histogram h;
+  for (int v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.quantile(0.5), 50);
+  EXPECT_EQ(h.quantile(1.0), 100);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+  EXPECT_NEAR(h.fraction_below(51), 0.5, 1e-9);
+}
+
+TEST(Histogram, WeightedCounts) {
+  Histogram h;
+  h.add(1, 90);
+  h.add(10, 10);
+  EXPECT_EQ(h.quantile(0.5), 1);
+  EXPECT_EQ(h.quantile(0.95), 10);
+}
+
+TEST(Stats, DigammaMatchesKnownValues) {
+  // psi(1) = -gamma_E, psi(2) = 1 - gamma_E, psi(0.5) = -gamma_E - 2 ln 2.
+  constexpr double kEuler = 0.5772156649015329;
+  EXPECT_NEAR(ngs::util::digamma(1.0), -kEuler, 1e-9);
+  EXPECT_NEAR(ngs::util::digamma(2.0), 1.0 - kEuler, 1e-9);
+  EXPECT_NEAR(ngs::util::digamma(0.5), -kEuler - 2.0 * std::log(2.0), 1e-9);
+}
+
+TEST(Stats, DigammaIsDerivativeOfLogGamma) {
+  for (double x : {0.3, 1.7, 4.2, 25.0}) {
+    const double h = 1e-6;
+    const double numeric =
+        (ngs::util::log_gamma(x + h) - ngs::util::log_gamma(x - h)) / (2 * h);
+    EXPECT_NEAR(ngs::util::digamma(x), numeric, 1e-5) << "x=" << x;
+  }
+}
+
+TEST(Stats, LogSumExp) {
+  EXPECT_NEAR(ngs::util::log_sum_exp({std::log(1.0), std::log(3.0)}),
+              std::log(4.0), 1e-12);
+  EXPECT_NEAR(ngs::util::log_sum_exp({-1000.0, -1000.0}),
+              -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(Stats, Binomial) {
+  EXPECT_DOUBLE_EQ(ngs::util::binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(ngs::util::binomial(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ngs::util::binomial(3, 5), 0.0);
+}
+
+TEST(Table, RendersAlignedRows) {
+  ngs::util::Table t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22,222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22,222"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(ngs::util::Table::num(0), "0");
+  EXPECT_EQ(ngs::util::Table::num(999), "999");
+  EXPECT_EQ(ngs::util::Table::num(1000), "1,000");
+  EXPECT_EQ(ngs::util::Table::num(1234567), "1,234,567");
+  EXPECT_EQ(ngs::util::Table::percent(0.123456, 2), "12.35%");
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ngs::util::ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ngs::util::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ngs::util::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(StageTimes, AccumulatesInOrder) {
+  ngs::util::StageTimes times;
+  times.add("sketch", 1.0);
+  times.add("validate", 2.0);
+  times.add("sketch", 0.5);
+  EXPECT_DOUBLE_EQ(times.get("sketch"), 1.5);
+  EXPECT_DOUBLE_EQ(times.total(), 3.5);
+  ASSERT_EQ(times.entries().size(), 2u);
+  EXPECT_EQ(times.entries()[0].first, "sketch");
+}
+
+TEST(Memory, ReportsPositiveRss) {
+  EXPECT_GT(ngs::util::peak_rss_bytes(), 0u);
+  EXPECT_GT(ngs::util::current_rss_bytes(), 0u);
+}
+
+}  // namespace

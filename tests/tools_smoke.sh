@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the command-line tools: simulate a small run,
+# correct it with two methods, cluster a FASTA, and sanity-check outputs.
+set -euo pipefail
+
+BIN_DIR="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$BIN_DIR/ngs_simulate" \
+  --genome-length 20000 --coverage 30 --error-rate 0.01 --seed 7 \
+  --reads "$WORK/reads.fastq" --genome "$WORK/genome.fasta" \
+  --truth "$WORK/truth.tsv"
+test -s "$WORK/reads.fastq"
+test -s "$WORK/genome.fasta"
+test -s "$WORK/truth.tsv"
+
+for method in reptile sap; do
+  "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+    --out "$WORK/corrected_$method.fastq" \
+    --method "$method" --genome-length 20000
+  test -s "$WORK/corrected_$method.fastq"
+  # Same number of records in and out.
+  in_lines=$(wc -l < "$WORK/reads.fastq")
+  out_lines=$(wc -l < "$WORK/corrected_$method.fastq")
+  [ "$in_lines" = "$out_lines" ]
+done
+
+# Cluster the simulated reads as FASTA (exercises the FASTA path).
+head -4000 "$WORK/reads.fastq" | awk 'NR%4==1{sub(/^@/,">");print} NR%4==2{print}' \
+  > "$WORK/reads.fasta"
+"$BIN_DIR/ngs_cluster" --in "$WORK/reads.fasta" --thresholds 0.9 \
+  --out "$WORK/clusters.tsv"
+test -s "$WORK/clusters.tsv"
+# Header plus one row per sequence.
+rows=$(($(wc -l < "$WORK/clusters.tsv") - 1))
+seqs=$(grep -c '^>' "$WORK/reads.fasta")
+[ "$rows" = "$seqs" ]
+
+# Unknown method fails loudly.
+if "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" --method bogus \
+     >/dev/null 2>&1; then
+  echo "expected failure for bogus method" >&2
+  exit 1
+fi
+
+echo "tools smoke test passed"

@@ -1,0 +1,140 @@
+// ngs-correct — correct sequencing errors in a FASTQ with any of the
+// implemented methods.
+//
+//   ngs-correct --in reads.fastq --out corrected.fastq \\
+//               --method reptile --genome-length 100000
+//
+// Methods: reptile (default), shrec, sap, hitec, freclu, redeem, hybrid.
+// REDEEM and hybrid need an error-rate estimate for their misread model
+// (use ngs-simulate's value, or a control-lane estimate).
+
+#include <iostream>
+
+#include "baselines/freclu.hpp"
+#include "baselines/hitec.hpp"
+#include "baselines/sap.hpp"
+#include "io/fastx.hpp"
+#include "kspec/kspectrum.hpp"
+#include "redeem/corrector.hpp"
+#include "redeem/em_model.hpp"
+#include "redeem/error_dist.hpp"
+#include "redeem/hybrid.hpp"
+#include "reptile/corrector.hpp"
+#include "shrec/shrec.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+using namespace ngs;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("ngs-correct", "short-read error correction");
+  cli.add_option("in", "input FASTQ", true, "");
+  cli.add_option("out", "output FASTQ", true, "corrected.fastq");
+  cli.add_option("method",
+                 "reptile | shrec | sap | hitec | freclu | redeem | hybrid",
+                 true, "reptile");
+  cli.add_option("genome-length", "genome length estimate (bp)", true,
+                 "1000000");
+  cli.add_option("k", "kmer length (0 = choose from genome length)", true,
+                 "0");
+  cli.add_option("error-rate", "error-rate estimate for redeem/hybrid", true,
+                 "0.01");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage();
+    return 2;
+  }
+  if (cli.help_requested() || cli.get("in").empty()) {
+    std::cout << cli.usage();
+    return cli.help_requested() ? 0 : 2;
+  }
+
+  const auto reads = io::read_fastq_file(cli.get("in"));
+  const auto genome_length =
+      static_cast<std::uint64_t>(cli.get_int("genome-length", 1000000));
+  const std::string method = cli.get("method", "reptile");
+  std::cerr << "read " << reads.size() << " reads; method=" << method << "\n";
+
+  util::Timer timer;
+  std::vector<seq::Read> corrected;
+  if (method == "reptile" || method == "hybrid") {
+    auto params = reptile::select_parameters(reads, genome_length);
+    if (cli.get_int("k", 0) > 0) {
+      params.k = static_cast<int>(cli.get_int("k", 0));
+    }
+    if (method == "reptile") {
+      reptile::ReptileCorrector corrector(reads, params);
+      reptile::CorrectionStats stats;
+      corrected = corrector.correct_all(reads, stats);
+      std::cerr << "changed " << stats.bases_changed << " bases\n";
+    } else {
+      redeem::HybridParams hp;
+      hp.reptile = params;
+      std::size_t max_len = 0;
+      for (const auto& r : reads.reads) max_len = std::max(max_len, r.length());
+      const auto model = sim::ErrorModel::illumina(
+          max_len, cli.get_double("error-rate", 0.01));
+      const auto q = redeem::kmer_error_matrices(
+          redeem::ErrorDistKind::kTrueIllumina, hp.redeem_k, model);
+      redeem::HybridCorrector corrector(q, hp);
+      redeem::HybridStats stats;
+      corrected = corrector.correct_all(reads, stats);
+      std::cerr << "changed " << stats.redeem.bases_changed << " (REDEEM) + "
+                << stats.reptile.bases_changed << " (Reptile) bases\n";
+    }
+  } else if (method == "shrec") {
+    shrec::ShrecParams params;
+    params.genome_length = genome_length;
+    shrec::ShrecCorrector corrector(params);
+    shrec::ShrecStats stats;
+    corrected = corrector.correct_all(reads, stats);
+    std::cerr << "applied " << stats.corrections_applied << " corrections\n";
+  } else if (method == "sap") {
+    baselines::SapParams params;
+    if (cli.get_int("k", 0) > 0) params.k = static_cast<int>(cli.get_int("k", 0));
+    baselines::SapCorrector corrector(reads, params);
+    baselines::SapStats stats;
+    corrected = corrector.correct_all(reads, stats);
+    std::cerr << "fixed " << stats.reads_fixed << " reads ("
+              << stats.reads_unfixable << " unfixable)\n";
+  } else if (method == "hitec") {
+    baselines::HitecParams params;
+    if (cli.get_int("k", 0) > 0) params.k = static_cast<int>(cli.get_int("k", 0));
+    baselines::HitecCorrector corrector(reads, params);
+    baselines::HitecStats stats;
+    corrected = corrector.correct_all(reads, stats);
+    std::cerr << "applied " << stats.corrections << " corrections\n";
+  } else if (method == "freclu") {
+    baselines::FrecluCorrector corrector({});
+    baselines::FrecluStats stats;
+    corrected = corrector.correct_all(reads, stats);
+    std::cerr << "corrected " << stats.reads_corrected << " reads across "
+              << stats.trees << " trees\n";
+  } else if (method == "redeem") {
+    std::size_t max_len = 0;
+    for (const auto& r : reads.reads) max_len = std::max(max_len, r.length());
+    const int k = cli.get_int("k", 0) > 0
+                      ? static_cast<int>(cli.get_int("k", 0))
+                      : 11;
+    const auto model = sim::ErrorModel::illumina(
+        max_len, cli.get_double("error-rate", 0.01));
+    const auto q = redeem::kmer_error_matrices(
+        redeem::ErrorDistKind::kTrueIllumina, k, model);
+    const auto spectrum = kspec::KSpectrum::build(reads, k, false);
+    const redeem::RedeemModel em(spectrum, q, {});
+    redeem::RedeemCorrector corrector(em, {});
+    redeem::RedeemCorrectionStats stats;
+    corrected = corrector.correct_all(reads, stats);
+    std::cerr << "changed " << stats.bases_changed << " bases ("
+              << stats.reads_flagged << " reads flagged)\n";
+  } else {
+    std::cerr << "unknown method: " << method << "\n" << cli.usage();
+    return 2;
+  }
+
+  seq::ReadSet out;
+  out.reads = std::move(corrected);
+  io::write_fastq_file(cli.get("out"), out);
+  std::cerr << "wrote " << cli.get("out") << " in " << timer.seconds()
+            << "s\n";
+  return 0;
+}
