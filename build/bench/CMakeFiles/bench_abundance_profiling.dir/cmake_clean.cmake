@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abundance_profiling.dir/bench_abundance_profiling.cpp.o"
+  "CMakeFiles/bench_abundance_profiling.dir/bench_abundance_profiling.cpp.o.d"
+  "bench_abundance_profiling"
+  "bench_abundance_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abundance_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

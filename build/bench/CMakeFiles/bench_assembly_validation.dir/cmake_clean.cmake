@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_assembly_validation.dir/bench_assembly_validation.cpp.o"
+  "CMakeFiles/bench_assembly_validation.dir/bench_assembly_validation.cpp.o.d"
+  "bench_assembly_validation"
+  "bench_assembly_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assembly_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corrector_zoo.dir/bench_corrector_zoo.cpp.o"
+  "CMakeFiles/bench_corrector_zoo.dir/bench_corrector_zoo.cpp.o.d"
+  "bench_corrector_zoo"
+  "bench_corrector_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corrector_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_7_threshold.dir/bench_sec3_7_threshold.cpp.o"
+  "CMakeFiles/bench_sec3_7_threshold.dir/bench_sec3_7_threshold.cpp.o.d"
+  "bench_sec3_7_threshold"
+  "bench_sec3_7_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_7_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

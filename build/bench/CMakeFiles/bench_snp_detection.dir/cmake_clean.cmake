@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snp_detection.dir/bench_snp_detection.cpp.o"
+  "CMakeFiles/bench_snp_detection.dir/bench_snp_detection.cpp.o.d"
+  "bench_snp_detection"
+  "bench_snp_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snp_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_2.cpp" "bench/CMakeFiles/bench_table4_2.dir/bench_table4_2.cpp.o" "gcc" "bench/CMakeFiles/bench_table4_2.dir/bench_table4_2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ngs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/ngs_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ngs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ngs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kspec/CMakeFiles/ngs_kspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/ngs_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ngs_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/reptile/CMakeFiles/ngs_reptile.dir/DependInfo.cmake"
+  "/root/repo/build/src/shrec/CMakeFiles/ngs_shrec.dir/DependInfo.cmake"
+  "/root/repo/build/src/redeem/CMakeFiles/ngs_redeem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/ngs_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/closet/CMakeFiles/ngs_closet.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/ngs_assembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ngs_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_model_training.dir/error_model_training.cpp.o"
+  "CMakeFiles/error_model_training.dir/error_model_training.cpp.o.d"
+  "error_model_training"
+  "error_model_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_model_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

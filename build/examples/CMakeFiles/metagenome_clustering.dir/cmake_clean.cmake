@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metagenome_clustering.dir/metagenome_clustering.cpp.o"
+  "CMakeFiles/metagenome_clustering.dir/metagenome_clustering.cpp.o.d"
+  "metagenome_clustering"
+  "metagenome_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metagenome_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repeat_aware_correction.dir/repeat_aware_correction.cpp.o"
+  "CMakeFiles/repeat_aware_correction.dir/repeat_aware_correction.cpp.o.d"
+  "repeat_aware_correction"
+  "repeat_aware_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repeat_aware_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

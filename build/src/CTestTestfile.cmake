@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("seq")
+subdirs("io")
+subdirs("sim")
+subdirs("kspec")
+subdirs("mapper")
+subdirs("reptile")
+subdirs("shrec")
+subdirs("redeem")
+subdirs("mapreduce")
+subdirs("closet")
+subdirs("eval")
+subdirs("assembly")
+subdirs("baselines")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_assembly.dir/debruijn.cpp.o"
+  "CMakeFiles/ngs_assembly.dir/debruijn.cpp.o.d"
+  "libngs_assembly.a"
+  "libngs_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

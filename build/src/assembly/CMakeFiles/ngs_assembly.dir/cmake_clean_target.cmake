@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libngs_assembly.a"
+)

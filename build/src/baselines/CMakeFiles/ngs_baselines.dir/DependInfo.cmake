@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/freclu.cpp" "src/baselines/CMakeFiles/ngs_baselines.dir/freclu.cpp.o" "gcc" "src/baselines/CMakeFiles/ngs_baselines.dir/freclu.cpp.o.d"
+  "/root/repo/src/baselines/hitec.cpp" "src/baselines/CMakeFiles/ngs_baselines.dir/hitec.cpp.o" "gcc" "src/baselines/CMakeFiles/ngs_baselines.dir/hitec.cpp.o.d"
+  "/root/repo/src/baselines/qmer.cpp" "src/baselines/CMakeFiles/ngs_baselines.dir/qmer.cpp.o" "gcc" "src/baselines/CMakeFiles/ngs_baselines.dir/qmer.cpp.o.d"
+  "/root/repo/src/baselines/sap.cpp" "src/baselines/CMakeFiles/ngs_baselines.dir/sap.cpp.o" "gcc" "src/baselines/CMakeFiles/ngs_baselines.dir/sap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kspec/CMakeFiles/ngs_kspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/ngs_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ngs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

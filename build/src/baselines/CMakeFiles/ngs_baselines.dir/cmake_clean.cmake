@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_baselines.dir/freclu.cpp.o"
+  "CMakeFiles/ngs_baselines.dir/freclu.cpp.o.d"
+  "CMakeFiles/ngs_baselines.dir/hitec.cpp.o"
+  "CMakeFiles/ngs_baselines.dir/hitec.cpp.o.d"
+  "CMakeFiles/ngs_baselines.dir/qmer.cpp.o"
+  "CMakeFiles/ngs_baselines.dir/qmer.cpp.o.d"
+  "CMakeFiles/ngs_baselines.dir/sap.cpp.o"
+  "CMakeFiles/ngs_baselines.dir/sap.cpp.o.d"
+  "libngs_baselines.a"
+  "libngs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/closet/baselines.cpp" "src/closet/CMakeFiles/ngs_closet.dir/baselines.cpp.o" "gcc" "src/closet/CMakeFiles/ngs_closet.dir/baselines.cpp.o.d"
+  "/root/repo/src/closet/closet.cpp" "src/closet/CMakeFiles/ngs_closet.dir/closet.cpp.o" "gcc" "src/closet/CMakeFiles/ngs_closet.dir/closet.cpp.o.d"
+  "/root/repo/src/closet/similarity.cpp" "src/closet/CMakeFiles/ngs_closet.dir/similarity.cpp.o" "gcc" "src/closet/CMakeFiles/ngs_closet.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/ngs_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/ngs_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ngs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

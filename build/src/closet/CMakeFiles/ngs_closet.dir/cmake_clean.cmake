@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_closet.dir/baselines.cpp.o"
+  "CMakeFiles/ngs_closet.dir/baselines.cpp.o.d"
+  "CMakeFiles/ngs_closet.dir/closet.cpp.o"
+  "CMakeFiles/ngs_closet.dir/closet.cpp.o.d"
+  "CMakeFiles/ngs_closet.dir/similarity.cpp.o"
+  "CMakeFiles/ngs_closet.dir/similarity.cpp.o.d"
+  "libngs_closet.a"
+  "libngs_closet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_closet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

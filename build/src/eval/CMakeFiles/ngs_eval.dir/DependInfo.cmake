@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/abundance.cpp" "src/eval/CMakeFiles/ngs_eval.dir/abundance.cpp.o" "gcc" "src/eval/CMakeFiles/ngs_eval.dir/abundance.cpp.o.d"
+  "/root/repo/src/eval/ari.cpp" "src/eval/CMakeFiles/ngs_eval.dir/ari.cpp.o" "gcc" "src/eval/CMakeFiles/ngs_eval.dir/ari.cpp.o.d"
+  "/root/repo/src/eval/correction_metrics.cpp" "src/eval/CMakeFiles/ngs_eval.dir/correction_metrics.cpp.o" "gcc" "src/eval/CMakeFiles/ngs_eval.dir/correction_metrics.cpp.o.d"
+  "/root/repo/src/eval/kmer_classification.cpp" "src/eval/CMakeFiles/ngs_eval.dir/kmer_classification.cpp.o" "gcc" "src/eval/CMakeFiles/ngs_eval.dir/kmer_classification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/ngs_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/kspec/CMakeFiles/ngs_kspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ngs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

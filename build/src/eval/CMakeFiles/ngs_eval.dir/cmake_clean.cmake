@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_eval.dir/abundance.cpp.o"
+  "CMakeFiles/ngs_eval.dir/abundance.cpp.o.d"
+  "CMakeFiles/ngs_eval.dir/ari.cpp.o"
+  "CMakeFiles/ngs_eval.dir/ari.cpp.o.d"
+  "CMakeFiles/ngs_eval.dir/correction_metrics.cpp.o"
+  "CMakeFiles/ngs_eval.dir/correction_metrics.cpp.o.d"
+  "CMakeFiles/ngs_eval.dir/kmer_classification.cpp.o"
+  "CMakeFiles/ngs_eval.dir/kmer_classification.cpp.o.d"
+  "libngs_eval.a"
+  "libngs_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

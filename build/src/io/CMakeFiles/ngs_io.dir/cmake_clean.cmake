@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_io.dir/fastx.cpp.o"
+  "CMakeFiles/ngs_io.dir/fastx.cpp.o.d"
+  "libngs_io.a"
+  "libngs_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

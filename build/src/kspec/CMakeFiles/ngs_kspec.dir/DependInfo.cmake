@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kspec/chunked_builder.cpp" "src/kspec/CMakeFiles/ngs_kspec.dir/chunked_builder.cpp.o" "gcc" "src/kspec/CMakeFiles/ngs_kspec.dir/chunked_builder.cpp.o.d"
+  "/root/repo/src/kspec/hamming_graph.cpp" "src/kspec/CMakeFiles/ngs_kspec.dir/hamming_graph.cpp.o" "gcc" "src/kspec/CMakeFiles/ngs_kspec.dir/hamming_graph.cpp.o.d"
+  "/root/repo/src/kspec/kspectrum.cpp" "src/kspec/CMakeFiles/ngs_kspec.dir/kspectrum.cpp.o" "gcc" "src/kspec/CMakeFiles/ngs_kspec.dir/kspectrum.cpp.o.d"
+  "/root/repo/src/kspec/neighborhood.cpp" "src/kspec/CMakeFiles/ngs_kspec.dir/neighborhood.cpp.o" "gcc" "src/kspec/CMakeFiles/ngs_kspec.dir/neighborhood.cpp.o.d"
+  "/root/repo/src/kspec/tile_table.cpp" "src/kspec/CMakeFiles/ngs_kspec.dir/tile_table.cpp.o" "gcc" "src/kspec/CMakeFiles/ngs_kspec.dir/tile_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/ngs_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ngs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

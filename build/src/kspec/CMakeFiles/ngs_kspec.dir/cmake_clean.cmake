@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_kspec.dir/chunked_builder.cpp.o"
+  "CMakeFiles/ngs_kspec.dir/chunked_builder.cpp.o.d"
+  "CMakeFiles/ngs_kspec.dir/hamming_graph.cpp.o"
+  "CMakeFiles/ngs_kspec.dir/hamming_graph.cpp.o.d"
+  "CMakeFiles/ngs_kspec.dir/kspectrum.cpp.o"
+  "CMakeFiles/ngs_kspec.dir/kspectrum.cpp.o.d"
+  "CMakeFiles/ngs_kspec.dir/neighborhood.cpp.o"
+  "CMakeFiles/ngs_kspec.dir/neighborhood.cpp.o.d"
+  "CMakeFiles/ngs_kspec.dir/tile_table.cpp.o"
+  "CMakeFiles/ngs_kspec.dir/tile_table.cpp.o.d"
+  "libngs_kspec.a"
+  "libngs_kspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_kspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

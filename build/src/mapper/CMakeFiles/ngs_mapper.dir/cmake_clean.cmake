@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_mapper.dir/mismatch_mapper.cpp.o"
+  "CMakeFiles/ngs_mapper.dir/mismatch_mapper.cpp.o.d"
+  "CMakeFiles/ngs_mapper.dir/packed_sequence.cpp.o"
+  "CMakeFiles/ngs_mapper.dir/packed_sequence.cpp.o.d"
+  "libngs_mapper.a"
+  "libngs_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

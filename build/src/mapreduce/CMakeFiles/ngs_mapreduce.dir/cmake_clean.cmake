@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_mapreduce.dir/block_store.cpp.o"
+  "CMakeFiles/ngs_mapreduce.dir/block_store.cpp.o.d"
+  "libngs_mapreduce.a"
+  "libngs_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

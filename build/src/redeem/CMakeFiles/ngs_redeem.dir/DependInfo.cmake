@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/redeem/corrector.cpp" "src/redeem/CMakeFiles/ngs_redeem.dir/corrector.cpp.o" "gcc" "src/redeem/CMakeFiles/ngs_redeem.dir/corrector.cpp.o.d"
+  "/root/repo/src/redeem/em_model.cpp" "src/redeem/CMakeFiles/ngs_redeem.dir/em_model.cpp.o" "gcc" "src/redeem/CMakeFiles/ngs_redeem.dir/em_model.cpp.o.d"
+  "/root/repo/src/redeem/error_dist.cpp" "src/redeem/CMakeFiles/ngs_redeem.dir/error_dist.cpp.o" "gcc" "src/redeem/CMakeFiles/ngs_redeem.dir/error_dist.cpp.o.d"
+  "/root/repo/src/redeem/hybrid.cpp" "src/redeem/CMakeFiles/ngs_redeem.dir/hybrid.cpp.o" "gcc" "src/redeem/CMakeFiles/ngs_redeem.dir/hybrid.cpp.o.d"
+  "/root/repo/src/redeem/threshold.cpp" "src/redeem/CMakeFiles/ngs_redeem.dir/threshold.cpp.o" "gcc" "src/redeem/CMakeFiles/ngs_redeem.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kspec/CMakeFiles/ngs_kspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ngs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/ngs_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ngs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/reptile/CMakeFiles/ngs_reptile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

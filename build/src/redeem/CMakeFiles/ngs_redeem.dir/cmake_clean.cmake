@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_redeem.dir/corrector.cpp.o"
+  "CMakeFiles/ngs_redeem.dir/corrector.cpp.o.d"
+  "CMakeFiles/ngs_redeem.dir/em_model.cpp.o"
+  "CMakeFiles/ngs_redeem.dir/em_model.cpp.o.d"
+  "CMakeFiles/ngs_redeem.dir/error_dist.cpp.o"
+  "CMakeFiles/ngs_redeem.dir/error_dist.cpp.o.d"
+  "CMakeFiles/ngs_redeem.dir/hybrid.cpp.o"
+  "CMakeFiles/ngs_redeem.dir/hybrid.cpp.o.d"
+  "CMakeFiles/ngs_redeem.dir/threshold.cpp.o"
+  "CMakeFiles/ngs_redeem.dir/threshold.cpp.o.d"
+  "libngs_redeem.a"
+  "libngs_redeem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_redeem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

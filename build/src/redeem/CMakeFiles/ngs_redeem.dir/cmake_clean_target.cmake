@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libngs_redeem.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reptile/corrector.cpp" "src/reptile/CMakeFiles/ngs_reptile.dir/corrector.cpp.o" "gcc" "src/reptile/CMakeFiles/ngs_reptile.dir/corrector.cpp.o.d"
+  "/root/repo/src/reptile/params.cpp" "src/reptile/CMakeFiles/ngs_reptile.dir/params.cpp.o" "gcc" "src/reptile/CMakeFiles/ngs_reptile.dir/params.cpp.o.d"
+  "/root/repo/src/reptile/polymorphism.cpp" "src/reptile/CMakeFiles/ngs_reptile.dir/polymorphism.cpp.o" "gcc" "src/reptile/CMakeFiles/ngs_reptile.dir/polymorphism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kspec/CMakeFiles/ngs_kspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/ngs_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ngs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_reptile.dir/corrector.cpp.o"
+  "CMakeFiles/ngs_reptile.dir/corrector.cpp.o.d"
+  "CMakeFiles/ngs_reptile.dir/params.cpp.o"
+  "CMakeFiles/ngs_reptile.dir/params.cpp.o.d"
+  "CMakeFiles/ngs_reptile.dir/polymorphism.cpp.o"
+  "CMakeFiles/ngs_reptile.dir/polymorphism.cpp.o.d"
+  "libngs_reptile.a"
+  "libngs_reptile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_reptile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

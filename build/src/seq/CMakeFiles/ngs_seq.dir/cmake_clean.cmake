@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_seq.dir/alphabet.cpp.o"
+  "CMakeFiles/ngs_seq.dir/alphabet.cpp.o.d"
+  "CMakeFiles/ngs_seq.dir/kmer.cpp.o"
+  "CMakeFiles/ngs_seq.dir/kmer.cpp.o.d"
+  "libngs_seq.a"
+  "libngs_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_shrec.dir/shrec.cpp.o"
+  "CMakeFiles/ngs_shrec.dir/shrec.cpp.o.d"
+  "libngs_shrec.a"
+  "libngs_shrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_shrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/datasets.cpp" "src/sim/CMakeFiles/ngs_sim.dir/datasets.cpp.o" "gcc" "src/sim/CMakeFiles/ngs_sim.dir/datasets.cpp.o.d"
+  "/root/repo/src/sim/diploid.cpp" "src/sim/CMakeFiles/ngs_sim.dir/diploid.cpp.o" "gcc" "src/sim/CMakeFiles/ngs_sim.dir/diploid.cpp.o.d"
+  "/root/repo/src/sim/error_model.cpp" "src/sim/CMakeFiles/ngs_sim.dir/error_model.cpp.o" "gcc" "src/sim/CMakeFiles/ngs_sim.dir/error_model.cpp.o.d"
+  "/root/repo/src/sim/genome.cpp" "src/sim/CMakeFiles/ngs_sim.dir/genome.cpp.o" "gcc" "src/sim/CMakeFiles/ngs_sim.dir/genome.cpp.o.d"
+  "/root/repo/src/sim/metagenome.cpp" "src/sim/CMakeFiles/ngs_sim.dir/metagenome.cpp.o" "gcc" "src/sim/CMakeFiles/ngs_sim.dir/metagenome.cpp.o.d"
+  "/root/repo/src/sim/read_sim.cpp" "src/sim/CMakeFiles/ngs_sim.dir/read_sim.cpp.o" "gcc" "src/sim/CMakeFiles/ngs_sim.dir/read_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/ngs_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ngs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

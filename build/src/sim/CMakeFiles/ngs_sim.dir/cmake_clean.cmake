@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_sim.dir/datasets.cpp.o"
+  "CMakeFiles/ngs_sim.dir/datasets.cpp.o.d"
+  "CMakeFiles/ngs_sim.dir/diploid.cpp.o"
+  "CMakeFiles/ngs_sim.dir/diploid.cpp.o.d"
+  "CMakeFiles/ngs_sim.dir/error_model.cpp.o"
+  "CMakeFiles/ngs_sim.dir/error_model.cpp.o.d"
+  "CMakeFiles/ngs_sim.dir/genome.cpp.o"
+  "CMakeFiles/ngs_sim.dir/genome.cpp.o.d"
+  "CMakeFiles/ngs_sim.dir/metagenome.cpp.o"
+  "CMakeFiles/ngs_sim.dir/metagenome.cpp.o.d"
+  "CMakeFiles/ngs_sim.dir/read_sim.cpp.o"
+  "CMakeFiles/ngs_sim.dir/read_sim.cpp.o.d"
+  "libngs_sim.a"
+  "libngs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

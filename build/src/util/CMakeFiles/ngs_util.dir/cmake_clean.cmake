@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_util.dir/cli.cpp.o"
+  "CMakeFiles/ngs_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ngs_util.dir/memory.cpp.o"
+  "CMakeFiles/ngs_util.dir/memory.cpp.o.d"
+  "CMakeFiles/ngs_util.dir/rng.cpp.o"
+  "CMakeFiles/ngs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ngs_util.dir/stats.cpp.o"
+  "CMakeFiles/ngs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ngs_util.dir/table.cpp.o"
+  "CMakeFiles/ngs_util.dir/table.cpp.o.d"
+  "CMakeFiles/ngs_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ngs_util.dir/thread_pool.cpp.o.d"
+  "libngs_util.a"
+  "libngs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

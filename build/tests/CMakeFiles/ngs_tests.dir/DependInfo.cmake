@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abundance.cpp" "tests/CMakeFiles/ngs_tests.dir/test_abundance.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_abundance.cpp.o.d"
+  "/root/repo/tests/test_assembly.cpp" "tests/CMakeFiles/ngs_tests.dir/test_assembly.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_assembly.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/ngs_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_chunked.cpp" "tests/CMakeFiles/ngs_tests.dir/test_chunked.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_chunked.cpp.o.d"
+  "/root/repo/tests/test_cli_freclu.cpp" "tests/CMakeFiles/ngs_tests.dir/test_cli_freclu.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_cli_freclu.cpp.o.d"
+  "/root/repo/tests/test_closet.cpp" "tests/CMakeFiles/ngs_tests.dir/test_closet.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_closet.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/ngs_tests.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/ngs_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/ngs_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_kspec.cpp" "tests/CMakeFiles/ngs_tests.dir/test_kspec.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_kspec.cpp.o.d"
+  "/root/repo/tests/test_mapper.cpp" "tests/CMakeFiles/ngs_tests.dir/test_mapper.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_mapper.cpp.o.d"
+  "/root/repo/tests/test_mapreduce.cpp" "tests/CMakeFiles/ngs_tests.dir/test_mapreduce.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_mapreduce.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ngs_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_redeem.cpp" "tests/CMakeFiles/ngs_tests.dir/test_redeem.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_redeem.cpp.o.d"
+  "/root/repo/tests/test_reptile.cpp" "tests/CMakeFiles/ngs_tests.dir/test_reptile.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_reptile.cpp.o.d"
+  "/root/repo/tests/test_seq.cpp" "tests/CMakeFiles/ngs_tests.dir/test_seq.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_seq.cpp.o.d"
+  "/root/repo/tests/test_shrec.cpp" "tests/CMakeFiles/ngs_tests.dir/test_shrec.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_shrec.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/ngs_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/ngs_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/ngs_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ngs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/ngs_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ngs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ngs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kspec/CMakeFiles/ngs_kspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/ngs_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ngs_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/reptile/CMakeFiles/ngs_reptile.dir/DependInfo.cmake"
+  "/root/repo/build/src/shrec/CMakeFiles/ngs_shrec.dir/DependInfo.cmake"
+  "/root/repo/build/src/redeem/CMakeFiles/ngs_redeem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/ngs_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/closet/CMakeFiles/ngs_closet.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/ngs_assembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ngs_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_cluster.dir/ngs_cluster.cpp.o"
+  "CMakeFiles/ngs_cluster.dir/ngs_cluster.cpp.o.d"
+  "ngs_cluster"
+  "ngs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_correct.dir/ngs_correct.cpp.o"
+  "CMakeFiles/ngs_correct.dir/ngs_correct.cpp.o.d"
+  "ngs_correct"
+  "ngs_correct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_correct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

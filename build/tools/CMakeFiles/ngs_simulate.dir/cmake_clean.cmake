@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngs_simulate.dir/ngs_simulate.cpp.o"
+  "CMakeFiles/ngs_simulate.dir/ngs_simulate.cpp.o.d"
+  "ngs_simulate"
+  "ngs_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngs_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
