@@ -1,24 +1,32 @@
 // Extension bench — the full corrector landscape the dissertation
 // surveys, side by side: SAP (Pevzner/Chaisson), HiTEC, SHREC, Reptile,
 // REDEEM, and the Sec. 3.5 hybrid, on a low-repeat dataset (Ch. 2
-// regime) and a high-repeat one (Ch. 3 regime).
+// regime) and a high-repeat one (Ch. 3 regime). Every method is
+// instantiated through core::make_corrector — adding a corrector to the
+// registry adds a row here.
 
 #include "bench_common.hpp"
 
-#include "baselines/hitec.hpp"
-#include "baselines/sap.hpp"
+#include "core/registry.hpp"
 #include "eval/correction_metrics.hpp"
-#include "kspec/kspectrum.hpp"
-#include "redeem/corrector.hpp"
-#include "redeem/em_model.hpp"
-#include "redeem/error_dist.hpp"
-#include "redeem/hybrid.hpp"
-#include "reptile/corrector.hpp"
-#include "shrec/shrec.hpp"
 
 using namespace ngs;
 
 namespace {
+
+/// Row order and kmer override per method (0 = method default /
+/// data-driven selection). Data, not dispatch: construction goes through
+/// the registry.
+struct ZooEntry {
+  const char* name;
+  const char* display;
+  int k;
+};
+
+constexpr ZooEntry kZoo[] = {
+    {"sap", "SAP", 11},     {"hitec", "HiTEC", 11}, {"shrec", "SHREC", 0},
+    {"reptile", "Reptile", 0}, {"redeem", "REDEEM", 11}, {"hybrid", "Hybrid", 0},
+};
 
 void report(util::Table& table, const std::string& data,
             const std::string& method, const sim::Dataset& d,
@@ -50,63 +58,17 @@ int main() {
   for (const auto* dp : {&low, &high}) {
     const auto& d = *dp;
     const std::string label = dp == &low ? "low-repeat" : "high-repeat";
-    const auto q = redeem::kmer_error_matrices(
-        redeem::ErrorDistKind::kTrueIllumina, 11, d.model);
-
-    {
-      baselines::SapParams p;
-      p.k = 11;
+    for (const auto& entry : kZoo) {
+      core::CorrectorConfig config;
+      config.genome_length = d.genome.sequence.size();
+      config.k = entry.k;
+      config.error_model = d.model;
       util::Timer t;
-      baselines::SapCorrector c(d.sim.reads, p);
-      baselines::SapStats stats;
-      report(table, label, "SAP", d, c.correct_all(d.sim.reads, stats),
-             t.seconds());
-    }
-    {
-      baselines::HitecParams p;
-      p.k = 11;
-      util::Timer t;
-      baselines::HitecCorrector c(d.sim.reads, p);
-      baselines::HitecStats stats;
-      report(table, label, "HiTEC", d, c.correct_all(d.sim.reads, stats),
-             t.seconds());
-    }
-    {
-      shrec::ShrecParams p;
-      p.genome_length = d.genome.sequence.size();
-      util::Timer t;
-      shrec::ShrecCorrector c(p);
-      shrec::ShrecStats stats;
-      report(table, label, "SHREC", d, c.correct_all(d.sim.reads, stats),
-             t.seconds());
-    }
-    {
-      util::Timer t;
-      const auto params =
-          reptile::select_parameters(d.sim.reads, d.genome.sequence.size());
-      reptile::ReptileCorrector c(d.sim.reads, params);
-      reptile::CorrectionStats stats;
-      report(table, label, "Reptile", d, c.correct_all(d.sim.reads, stats),
-             t.seconds());
-    }
-    {
-      util::Timer t;
-      const auto spectrum = kspec::KSpectrum::build(d.sim.reads, 11, false);
-      const redeem::RedeemModel model(spectrum, q, {});
-      redeem::RedeemCorrector c(model, {});
-      redeem::RedeemCorrectionStats stats;
-      report(table, label, "REDEEM", d, c.correct_all(d.sim.reads, stats),
-             t.seconds());
-    }
-    {
-      util::Timer t;
-      redeem::HybridParams p;
-      p.reptile =
-          reptile::select_parameters(d.sim.reads, d.genome.sequence.size());
-      redeem::HybridCorrector c(q, p);
-      redeem::HybridStats stats;
-      report(table, label, "Hybrid", d, c.correct_all(d.sim.reads, stats),
-             t.seconds());
+      auto corrector = core::make_corrector(entry.name, config);
+      corrector->build(d.sim.reads);
+      core::CorrectionReport rep;
+      report(table, label, entry.display, d,
+             corrector->correct_all(d.sim.reads, rep), t.seconds());
     }
   }
   table.print(std::cout);

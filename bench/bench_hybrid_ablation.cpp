@@ -2,19 +2,31 @@
 // against each method alone, across the repeat ladder D1/D2/D3. The
 // hybrid should match Reptile on low-repeat data and REDEEM on
 // high-repeat data (the paper's "superior both when sampling low repeat
-// and highly-repetitive genomes").
+// and highly-repetitive genomes"). All three rows come from the
+// core::make_corrector registry.
 
 #include "bench_common.hpp"
 
+#include "core/registry.hpp"
 #include "eval/correction_metrics.hpp"
-#include "kspec/kspectrum.hpp"
-#include "redeem/corrector.hpp"
-#include "redeem/em_model.hpp"
-#include "redeem/error_dist.hpp"
-#include "redeem/hybrid.hpp"
-#include "reptile/corrector.hpp"
 
 using namespace ngs;
+
+namespace {
+
+struct AblationEntry {
+  const char* name;
+  const char* display;
+  int k;  // 0 = method default / data-driven
+};
+
+constexpr AblationEntry kEntries[] = {
+    {"reptile", "Reptile", 0},
+    {"redeem", "REDEEM", 11},
+    {"hybrid", "Hybrid", 0},
+};
+
+}  // namespace
 
 int main() {
   const double scale = bench::scale_or(0.5);
@@ -29,47 +41,19 @@ int main() {
     const auto d = sim::make_dataset(specs[i], 7);
     const std::string repeat_label =
         util::Table::percent(d.genome.repeat_fraction, 0);
-    const auto q = redeem::kmer_error_matrices(
-        redeem::ErrorDistKind::kTrueIllumina, 11, d.model);
 
-    {
-      auto params =
-          reptile::select_parameters(d.sim.reads, d.genome.sequence.size());
+    for (const auto& entry : kEntries) {
+      core::CorrectorConfig config;
+      config.genome_length = d.genome.sequence.size();
+      config.k = entry.k;
+      config.error_model = d.model;
       util::Timer timer;
-      reptile::ReptileCorrector corrector(d.sim.reads, params);
-      reptile::CorrectionStats stats;
-      const auto out = corrector.correct_all(d.sim.reads, stats);
+      auto corrector = core::make_corrector(entry.name, config);
+      corrector->build(d.sim.reads);
+      core::CorrectionReport rep;
+      const auto out = corrector->correct_all(d.sim.reads, rep);
       const auto m = eval::evaluate_correction(d.sim.reads, out);
-      table.add_row({specs[i].name, repeat_label, "Reptile",
-                     util::Table::percent(m.sensitivity()),
-                     util::Table::percent(m.specificity()),
-                     util::Table::percent(m.gain()),
-                     util::Table::fixed(timer.seconds(), 1)});
-    }
-    {
-      util::Timer timer;
-      const auto spectrum = kspec::KSpectrum::build(d.sim.reads, 11, false);
-      const redeem::RedeemModel model(spectrum, q, {});
-      redeem::RedeemCorrector corrector(model, {});
-      redeem::RedeemCorrectionStats stats;
-      const auto out = corrector.correct_all(d.sim.reads, stats);
-      const auto m = eval::evaluate_correction(d.sim.reads, out);
-      table.add_row({specs[i].name, repeat_label, "REDEEM",
-                     util::Table::percent(m.sensitivity()),
-                     util::Table::percent(m.specificity()),
-                     util::Table::percent(m.gain()),
-                     util::Table::fixed(timer.seconds(), 1)});
-    }
-    {
-      util::Timer timer;
-      redeem::HybridParams params;
-      params.reptile =
-          reptile::select_parameters(d.sim.reads, d.genome.sequence.size());
-      redeem::HybridCorrector hybrid(q, params);
-      redeem::HybridStats stats;
-      const auto out = hybrid.correct_all(d.sim.reads, stats);
-      const auto m = eval::evaluate_correction(d.sim.reads, out);
-      table.add_row({specs[i].name, repeat_label, "Hybrid",
+      table.add_row({specs[i].name, repeat_label, entry.display,
                      util::Table::percent(m.sensitivity()),
                      util::Table::percent(m.specificity()),
                      util::Table::percent(m.gain()),

@@ -1,18 +1,20 @@
-// Quickstart: simulate a small Illumina-like run, correct it with
-// Reptile, and measure the result against exact ground truth.
+// Quickstart: simulate a small Illumina-like run, correct it through
+// the unified corrector registry and the streaming correction pipeline,
+// and measure the result against exact ground truth.
 //
 //   $ ./examples/quickstart [genome_length] [coverage]
 //
 // This walks the same path a user with a real FASTQ would take —
-// io::read_fastq_file + reptile::select_parameters + ReptileCorrector —
-// with the simulator standing in for the sequencer.
+// core::make_corrector("reptile", ...) + core::CorrectionPipeline over
+// FASTQ files — with the simulator standing in for the sequencer.
 
 #include <cstdlib>
 #include <iostream>
 
+#include "core/pipeline.hpp"
+#include "core/registry.hpp"
 #include "eval/correction_metrics.hpp"
 #include "io/fastx.hpp"
-#include "reptile/corrector.hpp"
 #include "sim/genome.hpp"
 #include "sim/read_sim.hpp"
 #include "util/table.hpp"
@@ -40,37 +42,34 @@ int main(int argc, char** argv) {
             << run.substitution_errors << " erroneous bases, "
             << util::Table::percent(run.realized_error_rate()) << ")\n";
 
-  // 2. Round-trip through FASTQ, as real data would arrive.
+  // 2. Write the run to FASTQ, as real data would arrive.
   const std::string path = "/tmp/ngs_quickstart.fastq";
+  const std::string corrected_path = "/tmp/ngs_quickstart.corrected.fastq";
   io::write_fastq_file(path, run.reads);
-  auto reads = io::read_fastq_file(path);
-  std::cout << "wrote and re-read " << path << "\n";
+  std::cout << "wrote " << path << "\n";
 
-  // 3. Choose Reptile parameters from the data and correct.
-  const auto params = reptile::select_parameters(reads, genome_len);
-  std::cout << "selected parameters: k=" << params.k
-            << " Qc=" << params.quality_cutoff << " Cg=" << params.c_good
-            << " Cm=" << params.c_min << "\n";
+  // 3. Pick a method from the registry and stream-correct the file.
+  //    (Every surveyed corrector is one name away — see
+  //    `ngs-correct --method list`.)
+  core::CorrectorConfig config;
+  config.genome_length = genome_len;
   util::Timer timer;
-  reptile::ReptileCorrector corrector(reads, params);
-  reptile::CorrectionStats stats;
-  const auto corrected = corrector.correct_all(reads, stats);
-  std::cout << "corrected " << stats.bases_changed << " bases in "
+  core::CorrectionPipeline pipeline(core::make_corrector("reptile", config));
+  const auto result = pipeline.run_file(path, corrected_path);
+  std::cout << "corrected: " << result.report.summary() << "\n";
+  std::cout << "pipeline: " << result.batches << " batches of "
+            << pipeline.options().batch_size << ", "
+            << (result.streamed ? "streamed" : "buffered") << " phase 1, "
             << util::Table::fixed(timer.seconds(), 1) << "s\n";
 
   // 4. Score against the simulator's exact truth.
-  const auto metrics = eval::evaluate_correction(run.reads, corrected);
+  const auto corrected = io::read_fastq_file(corrected_path);
+  const auto metrics = eval::evaluate_correction(run.reads, corrected.reads);
   std::cout << "sensitivity " << util::Table::percent(metrics.sensitivity())
             << ", specificity " << util::Table::percent(metrics.specificity())
             << ", gain " << util::Table::percent(metrics.gain())
             << ", EBA " << util::Table::fixed(metrics.eba() * 100, 3)
             << "%\n";
-
-  // 5. Persist the corrected reads.
-  seq::ReadSet out;
-  out.reads = corrected;
-  io::write_fastq_file("/tmp/ngs_quickstart.corrected.fastq", out);
-  std::cout << "corrected reads written to "
-               "/tmp/ngs_quickstart.corrected.fastq\n";
+  std::cout << "corrected reads written to " << corrected_path << "\n";
   return 0;
 }

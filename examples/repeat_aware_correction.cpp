@@ -8,10 +8,10 @@
 
 #include <iostream>
 
+#include "core/registry.hpp"
 #include "eval/correction_metrics.hpp"
 #include "eval/kmer_classification.hpp"
 #include "kspec/kspectrum.hpp"
-#include "redeem/corrector.hpp"
 #include "redeem/em_model.hpp"
 #include "redeem/error_dist.hpp"
 #include "redeem/threshold.hpp"
@@ -70,16 +70,22 @@ int main() {
             << util::Table::fixed(fit.threshold, 1) << " (G="
             << fit.num_normals << ", BIC-selected)\n";
 
-  // Correction.
-  redeem::RedeemCorrector corrector(model, {});
-  redeem::RedeemCorrectionStats stats;
-  const auto corrected = corrector.correct_all(run.reads, stats);
+  // Correction — through the unified registry (the adapter refits the
+  // same EM model; detection above inspected it directly).
+  core::CorrectorConfig config;
+  config.genome_length = genome.sequence.size();
+  config.k = k;
+  config.error_model = model_true;
+  auto corrector = core::make_corrector("redeem", config);
+  corrector->build(run.reads);
+  core::CorrectionReport report;
+  const auto corrected = corrector->correct_all(run.reads, report);
   const auto metrics = eval::evaluate_correction(run.reads, corrected);
   std::cout << "correction: gain "
             << util::Table::percent(metrics.gain()) << ", sensitivity "
             << util::Table::percent(metrics.sensitivity())
             << ", specificity "
             << util::Table::percent(metrics.specificity()) << " ("
-            << stats.reads_flagged << " reads flagged)\n";
+            << report.extra("reads_flagged") << " reads flagged)\n";
   return 0;
 }

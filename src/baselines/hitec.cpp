@@ -2,6 +2,7 @@
 
 #include <array>
 #include <mutex>
+#include <stdexcept>
 
 #include "seq/alphabet.hpp"
 #include "seq/kmer.hpp"
@@ -13,6 +14,14 @@ HitecCorrector::HitecCorrector(const seq::ReadSet& reads, HitecParams params)
     : params_(params),
       extensions_(kspec::KSpectrum::build(reads, params.k + 1,
                                           /*both_strands=*/true)) {}
+
+HitecCorrector::HitecCorrector(kspec::KSpectrum extensions, HitecParams params)
+    : params_(params), extensions_(std::move(extensions)) {
+  if (!extensions_.empty() && extensions_.k() != params_.k + 1) {
+    throw std::invalid_argument(
+        "HitecCorrector: witness spectrum k != params.k + 1");
+  }
+}
 
 std::uint64_t HitecCorrector::sweep(std::string& bases,
                                     HitecStats& stats) const {

@@ -34,6 +34,10 @@ class HitecCorrector {
  public:
   HitecCorrector(const seq::ReadSet& reads, HitecParams params);
 
+  /// Builds from a pre-aggregated witness spectrum (streamed; must be a
+  /// (k+1)-spectrum over both strands): `extensions.k() == params.k + 1`.
+  HitecCorrector(kspec::KSpectrum extensions, HitecParams params);
+
   seq::Read correct(const seq::Read& read, HitecStats& stats) const;
   std::vector<seq::Read> correct_all(const seq::ReadSet& reads,
                                      HitecStats& stats) const;

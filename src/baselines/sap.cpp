@@ -1,6 +1,7 @@
 #include "baselines/sap.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "seq/alphabet.hpp"
 #include "seq/kmer.hpp"
@@ -14,6 +15,13 @@ SapCorrector::SapCorrector(const seq::ReadSet& reads, SapParams params)
     : params_(params),
       spectrum_(kspec::KSpectrum::build(reads, params.k,
                                         params.both_strands)) {}
+
+SapCorrector::SapCorrector(kspec::KSpectrum spectrum, SapParams params)
+    : params_(params), spectrum_(std::move(spectrum)) {
+  if (!spectrum_.empty() && spectrum_.k() != params_.k) {
+    throw std::invalid_argument("SapCorrector: spectrum k != params.k");
+  }
+}
 
 int SapCorrector::weak_kmers(std::string_view bases) const {
   std::vector<seq::KmerCode> codes;

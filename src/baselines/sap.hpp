@@ -40,6 +40,11 @@ class SapCorrector {
  public:
   SapCorrector(const seq::ReadSet& reads, SapParams params);
 
+  /// Builds from a pre-aggregated k-spectrum (e.g. streamed through
+  /// kspec::ChunkedSpectrumBuilder, so the reads never have to be held
+  /// in memory). `spectrum.k()` must equal `params.k`.
+  SapCorrector(kspec::KSpectrum spectrum, SapParams params);
+
   const SapParams& params() const noexcept { return params_; }
   const kspec::KSpectrum& spectrum() const noexcept { return spectrum_; }
 

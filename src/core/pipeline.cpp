@@ -1,0 +1,151 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+
+#include "io/fastq_stream.hpp"
+#include "io/fastx.hpp"
+#include "kspec/chunked_builder.hpp"
+#include "util/memory.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ngs::core {
+
+CorrectionPipeline::CorrectionPipeline(std::unique_ptr<Corrector> corrector,
+                                       PipelineOptions options)
+    : corrector_(std::move(corrector)), options_(options) {
+  if (!corrector_) {
+    throw std::invalid_argument("CorrectionPipeline: null corrector");
+  }
+  if (options_.batch_size == 0) options_.batch_size = 1;
+}
+
+CorrectionPipeline::~CorrectionPipeline() = default;
+
+PipelineResult CorrectionPipeline::run_file(const std::string& in_fastq,
+                                            const std::string& out_fastq) {
+  std::ofstream os(out_fastq);
+  if (!os) {
+    throw std::runtime_error("cannot open for writing: " + out_fastq);
+  }
+  return run(
+      [&in_fastq]() -> std::unique_ptr<std::istream> {
+        auto is = std::make_unique<std::ifstream>(in_fastq);
+        if (!*is) {
+          throw std::runtime_error("cannot open for reading: " + in_fastq);
+        }
+        return is;
+      },
+      os);
+}
+
+PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
+                                       std::ostream& out) {
+  PipelineResult result;
+  std::optional<util::ThreadPool> own_pool;
+  if (options_.threads > 0) own_pool.emplace(options_.threads);
+  util::ThreadPool& pool = own_pool ? *own_pool : util::default_pool();
+  const std::size_t batch_size = options_.batch_size;
+
+  std::vector<seq::Read> in_batch, out_batch;
+  if (corrector_->spectrum_k() > 0) {
+    result.streamed = true;
+    // Pass 1: stream batches into the bounded-memory spectrum builder.
+    {
+      kspec::ChunkedSpectrumBuilder builder(
+          corrector_->spectrum_k(), corrector_->spectrum_both_strands(),
+          options_.spectrum_batch_instances);
+      auto is = open_input();
+      io::FastqStreamReader reader(*is);
+      while (reader.read_batch(in_batch, batch_size) > 0) {
+        for (const auto& r : in_batch) {
+          builder.add_read(r.bases);
+          result.input.add(r);
+        }
+        result.peak_buffered_reads =
+            std::max(result.peak_buffered_reads, in_batch.size());
+        in_batch.clear();
+      }
+      corrector_->build_from_spectrum(builder.finish(), result.input);
+    }
+    // Pass 2: re-stream, correct each batch in parallel, write in order.
+    auto is = open_input();
+    io::FastqStreamReader reader(*is);
+    while (reader.read_batch(in_batch, batch_size) > 0) {
+      result.peak_buffered_reads =
+          std::max(result.peak_buffered_reads, in_batch.size());
+      correct_batch_parallel(pool, in_batch, out_batch, result.report);
+      io::write_fastq(out, std::span<const seq::Read>(out_batch));
+      ++result.batches;
+      in_batch.clear();
+    }
+  } else {
+    // Buffered path: one pass to load, then batch (or whole-set) correct.
+    seq::ReadSet all;
+    {
+      auto is = open_input();
+      io::FastqStreamReader reader(*is);
+      while (reader.read_batch(all.reads, batch_size) > 0) {
+      }
+    }
+    for (const auto& r : all.reads) result.input.add(r);
+    result.peak_buffered_reads = all.reads.size();
+    corrector_->build(all);
+    if (corrector_->supports_batches()) {
+      for (std::size_t offset = 0; offset < all.reads.size();
+           offset += batch_size) {
+        const std::size_t n =
+            std::min(batch_size, all.reads.size() - offset);
+        correct_batch_parallel(pool, {all.reads.data() + offset, n},
+                               out_batch, result.report);
+        io::write_fastq(out, std::span<const seq::Read>(out_batch));
+        ++result.batches;
+      }
+    } else {
+      const auto corrected = corrector_->correct_all(all, result.report);
+      for (std::size_t offset = 0; offset < corrected.size();
+           offset += batch_size) {
+        const std::size_t n = std::min(batch_size, corrected.size() - offset);
+        io::write_fastq(
+            out, std::span<const seq::Read>(corrected.data() + offset, n));
+        ++result.batches;
+      }
+    }
+  }
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("CorrectionPipeline: error writing output");
+  }
+  result.peak_rss_bytes = util::peak_rss_bytes();
+  return result;
+}
+
+void CorrectionPipeline::correct_batch_parallel(util::ThreadPool& pool,
+                                                std::span<const seq::Read> in,
+                                                std::vector<seq::Read>& out,
+                                                CorrectionReport& report) {
+  out.clear();
+  out.resize(in.size());
+  std::mutex report_mutex;
+  pool.parallel_for_blocked(0, in.size(), [&](std::size_t lo, std::size_t hi) {
+    CorrectionReport local;
+    std::vector<seq::Read> block;
+    block.reserve(hi - lo);
+    corrector_->correct_batch(in.subspan(lo, hi - lo), block, local);
+    if (block.size() != hi - lo) {
+      throw std::runtime_error(
+          "correct_batch returned a different number of reads");
+    }
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      out[lo + i] = std::move(block[i]);
+    }
+    std::lock_guard<std::mutex> lock(report_mutex);
+    report.merge(local);
+  });
+}
+
+}  // namespace ngs::core

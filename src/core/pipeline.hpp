@@ -1,0 +1,88 @@
+#pragma once
+// Two-pass streaming batched correction, the production data path the
+// ROADMAP's "fast as the hardware allows / huge inputs" goal asks for
+// (cf. BFC and RECKONER, which stream reads in bounded memory instead of
+// materializing whole FASTQ files):
+//
+//   pass 1 — batches from an io::FastqStreamReader feed a
+//            kspec::ChunkedSpectrumBuilder (spectrum-based methods:
+//            SAP, HiTEC, REDEEM — peak read buffering stays O(batch))
+//            or are buffered into a ReadSet (methods needing the full
+//            input: Reptile's tile table, SHREC, FreClu, hybrid);
+//   pass 2 — each batch is corrected in parallel on a util::ThreadPool
+//            and written to the output FASTQ in input order.
+//
+// Output is byte-identical to the in-memory Corrector::correct_all path
+// for every method (reads are corrected independently within a batch,
+// and whole-set methods fall back to their native pass).
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/corrector.hpp"
+
+namespace ngs::util {
+class ThreadPool;
+}
+
+namespace ngs::core {
+
+struct PipelineOptions {
+  /// Reads per correction batch (and per streamed pass-1 parse batch).
+  std::size_t batch_size = 4096;
+  /// Worker threads for batch correction; 0 = the shared default pool.
+  /// Whole-set methods parallelize internally on the default pool.
+  std::size_t threads = 0;
+  /// Kmer instances buffered per ChunkedSpectrumBuilder batch in pass 1.
+  std::size_t spectrum_batch_instances = 1 << 20;
+};
+
+struct PipelineResult {
+  CorrectionReport report;
+  InputSummary input;
+  /// Number of output batches written.
+  std::size_t batches = 0;
+  /// Largest number of reads resident in the pipeline's own buffers at
+  /// any point: <= batch_size on the streamed path, the whole input on
+  /// the buffered path.
+  std::size_t peak_buffered_reads = 0;
+  /// util::peak_rss_bytes() sampled at completion (process-wide telemetry).
+  std::uint64_t peak_rss_bytes = 0;
+  /// True when phase 1 ran from the streamed spectrum.
+  bool streamed = false;
+};
+
+class CorrectionPipeline {
+ public:
+  /// Reopenable input source: called once per pass (twice on the
+  /// streamed path), returning a fresh stream over the same bytes.
+  using StreamFactory = std::function<std::unique_ptr<std::istream>()>;
+
+  explicit CorrectionPipeline(std::unique_ptr<Corrector> corrector,
+                              PipelineOptions options = {});
+  ~CorrectionPipeline();
+
+  const Corrector& corrector() const noexcept { return *corrector_; }
+  const PipelineOptions& options() const noexcept { return options_; }
+
+  /// Corrects in_fastq into out_fastq (overwritten).
+  PipelineResult run_file(const std::string& in_fastq,
+                          const std::string& out_fastq);
+
+  /// Stream-level entry point (tests, in-memory sources).
+  PipelineResult run(const StreamFactory& open_input, std::ostream& out);
+
+ private:
+  void correct_batch_parallel(util::ThreadPool& pool,
+                              std::span<const seq::Read> in,
+                              std::vector<seq::Read>& out,
+                              CorrectionReport& report);
+
+  std::unique_ptr<Corrector> corrector_;
+  PipelineOptions options_;
+};
+
+}  // namespace ngs::core

@@ -1,0 +1,70 @@
+#include "core/registry.hpp"
+
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ngs::core {
+namespace detail {
+void register_builtins();  // defined in adapters.cpp
+}  // namespace detail
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::pair<MethodInfo, CorrectorFactory>> entries;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void ensure_builtins() {
+  static std::once_flag once;
+  std::call_once(once, detail::register_builtins);
+}
+
+}  // namespace
+
+void register_corrector(MethodInfo info, CorrectorFactory factory) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [existing, fn] : r.entries) {
+    if (existing.name == info.name) {
+      existing = std::move(info);
+      fn = std::move(factory);
+      return;
+    }
+  }
+  r.entries.emplace_back(std::move(info), std::move(factory));
+}
+
+std::unique_ptr<Corrector> make_corrector(const std::string& method,
+                                          const CorrectorConfig& config) {
+  ensure_builtins();
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& [info, factory] : r.entries) {
+    if (info.name == method) return factory(config);
+  }
+  std::ostringstream os;
+  os << "unknown correction method: " << method << " (known:";
+  for (const auto& [info, factory] : r.entries) os << ' ' << info.name;
+  os << ')';
+  throw std::invalid_argument(os.str());
+}
+
+std::vector<MethodInfo> registered_methods() {
+  ensure_builtins();
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<MethodInfo> out;
+  out.reserve(r.entries.size());
+  for (const auto& [info, factory] : r.entries) out.push_back(info);
+  return out;
+}
+
+}  // namespace ngs::core

@@ -1,0 +1,76 @@
+#include "io/fastq_stream.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "io/fastx.hpp"
+
+namespace ngs::io {
+namespace {
+
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
+FastqStreamReader::FastqStreamReader(std::istream& is) : is_(&is) {}
+
+FastqStreamReader::FastqStreamReader(const std::string& path)
+    : owned_(std::make_unique<std::ifstream>(path)) {
+  if (!*owned_) {
+    throw std::runtime_error("cannot open for reading: " + path);
+  }
+  is_ = owned_.get();
+}
+
+bool FastqStreamReader::next(seq::Read& read) {
+  // Skip blank lines between records (as read_fastq always has).
+  do {
+    if (!std::getline(*is_, header_)) return false;
+    strip_cr(header_);
+  } while (header_.empty());
+
+  if (header_[0] != '@') {
+    throw std::runtime_error("FASTQ: expected '@' header, got: " + header_);
+  }
+  if (!std::getline(*is_, bases_) || !std::getline(*is_, plus_) ||
+      !std::getline(*is_, qual_)) {
+    throw std::runtime_error("FASTQ: truncated record: " + header_);
+  }
+  strip_cr(bases_);
+  strip_cr(plus_);
+  strip_cr(qual_);
+  if (plus_.empty() || plus_[0] != '+') {
+    throw std::runtime_error("FASTQ: expected '+' separator: " + header_);
+  }
+  if (bases_.size() != qual_.size()) {
+    throw std::runtime_error("FASTQ: sequence/quality length mismatch: " +
+                             header_);
+  }
+  read.id.assign(header_, 1, std::string::npos);
+  read.bases = bases_;
+  read.quality.clear();
+  read.quality.reserve(qual_.size());
+  for (char c : qual_) {
+    const int q = static_cast<unsigned char>(c) - kPhredOffset;
+    if (q < 0) throw std::runtime_error("FASTQ: quality below offset");
+    read.quality.push_back(static_cast<std::uint8_t>(q));
+  }
+  ++records_;
+  return true;
+}
+
+std::size_t FastqStreamReader::read_batch(std::vector<seq::Read>& out,
+                                          std::size_t max_reads) {
+  std::size_t appended = 0;
+  seq::Read read;
+  while (appended < max_reads && next(read)) {
+    out.push_back(std::move(read));
+    read = seq::Read{};
+    ++appended;
+  }
+  return appended;
+}
+
+}  // namespace ngs::io

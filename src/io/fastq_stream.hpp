@@ -1,0 +1,50 @@
+#pragma once
+// Incremental FASTQ reading for the streaming correction pipeline
+// (core::CorrectionPipeline): records are parsed one at a time or in
+// bounded batches, so huge inputs never have to be materialized as a
+// whole seq::ReadSet. Parsing semantics (error conditions, CR stripping,
+// Phred offset) are identical to io::read_fastq, which is implemented on
+// top of this reader.
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "seq/read.hpp"
+
+namespace ngs::io {
+
+class FastqStreamReader {
+ public:
+  /// Reads from a caller-owned stream (not copied; must outlive the
+  /// reader).
+  explicit FastqStreamReader(std::istream& is);
+
+  /// Opens `path` and owns the file stream. Throws std::runtime_error if
+  /// the file cannot be opened.
+  explicit FastqStreamReader(const std::string& path);
+
+  /// Parses the next record into `read`. Returns false at clean EOF.
+  /// Throws std::runtime_error on malformed input (truncated record,
+  /// missing '+' separator, sequence/quality length mismatch, bad
+  /// header, quality below the Sanger offset).
+  bool next(seq::Read& read);
+
+  /// Appends up to `max_reads` records to `out`; returns how many were
+  /// appended (0 at EOF). `out` is not cleared.
+  std::size_t read_batch(std::vector<seq::Read>& out, std::size_t max_reads);
+
+  /// Total records parsed so far.
+  std::uint64_t records() const noexcept { return records_; }
+
+ private:
+  std::unique_ptr<std::istream> owned_;  // set only for the path ctor
+  std::istream* is_;
+  std::uint64_t records_ = 0;
+  // Scratch lines reused across records to avoid per-record allocation.
+  std::string header_, bases_, plus_, qual_;
+};
+
+}  // namespace ngs::io

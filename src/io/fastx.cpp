@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "io/fastq_stream.hpp"
+
 namespace ngs::io {
 namespace {
 
@@ -28,37 +30,11 @@ std::ofstream open_output(const std::string& path) {
 
 seq::ReadSet read_fastq(std::istream& is) {
   seq::ReadSet set;
-  std::string header, bases, plus, qual;
-  while (std::getline(is, header)) {
-    strip_cr(header);
-    if (header.empty()) continue;
-    if (header[0] != '@') {
-      throw std::runtime_error("FASTQ: expected '@' header, got: " + header);
-    }
-    if (!std::getline(is, bases) || !std::getline(is, plus) ||
-        !std::getline(is, qual)) {
-      throw std::runtime_error("FASTQ: truncated record: " + header);
-    }
-    strip_cr(bases);
-    strip_cr(plus);
-    strip_cr(qual);
-    if (plus.empty() || plus[0] != '+') {
-      throw std::runtime_error("FASTQ: expected '+' separator: " + header);
-    }
-    if (bases.size() != qual.size()) {
-      throw std::runtime_error("FASTQ: sequence/quality length mismatch: " +
-                               header);
-    }
-    seq::Read read;
-    read.id = header.substr(1);
-    read.bases = bases;
-    read.quality.reserve(qual.size());
-    for (char c : qual) {
-      const int q = static_cast<unsigned char>(c) - kPhredOffset;
-      if (q < 0) throw std::runtime_error("FASTQ: quality below offset");
-      read.quality.push_back(static_cast<std::uint8_t>(q));
-    }
+  FastqStreamReader reader(is);
+  seq::Read read;
+  while (reader.next(read)) {
     set.reads.push_back(std::move(read));
+    read = seq::Read{};
   }
   return set;
 }
@@ -100,9 +76,9 @@ seq::ReadSet read_fasta_file(const std::string& path) {
   return read_fasta(is);
 }
 
-void write_fastq(std::ostream& os, const seq::ReadSet& reads,
+void write_fastq(std::ostream& os, std::span<const seq::Read> reads,
                  std::uint8_t default_quality) {
-  for (const auto& r : reads.reads) {
+  for (const auto& r : reads) {
     os << '@' << r.id << '\n' << r.bases << "\n+\n";
     if (r.quality.size() == r.bases.size()) {
       for (std::uint8_t q : r.quality) {
@@ -115,6 +91,11 @@ void write_fastq(std::ostream& os, const seq::ReadSet& reads,
     }
     os << '\n';
   }
+}
+
+void write_fastq(std::ostream& os, const seq::ReadSet& reads,
+                 std::uint8_t default_quality) {
+  write_fastq(os, std::span<const seq::Read>(reads.reads), default_quality);
 }
 
 void write_fastq_file(const std::string& path, const seq::ReadSet& reads,

@@ -6,6 +6,7 @@
 // the Sanger +33 offset.
 
 #include <iosfwd>
+#include <span>
 #include <string>
 
 #include "seq/read.hpp"
@@ -24,6 +25,11 @@ seq::ReadSet read_fasta(std::istream& is);
 seq::ReadSet read_fasta_file(const std::string& path);
 
 /// Writes FASTQ. Reads without quality get a constant placeholder score.
+/// The span overload is the batched-write primitive of the streaming
+/// correction pipeline: batches append to one stream without ever
+/// forming a ReadSet.
+void write_fastq(std::ostream& os, std::span<const seq::Read> reads,
+                 std::uint8_t default_quality = 30);
 void write_fastq(std::ostream& os, const seq::ReadSet& reads,
                  std::uint8_t default_quality = 30);
 void write_fastq_file(const std::string& path, const seq::ReadSet& reads,

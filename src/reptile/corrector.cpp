@@ -62,12 +62,15 @@ kspec::TileParams tile_params_of(const ReptileParams& p) {
 
 ReptileCorrector::ReptileCorrector(const seq::ReadSet& reads,
                                    ReptileParams params)
+    : ReptileCorrector(preconvert(reads, params), params, PreconvertedTag{}) {}
+
+ReptileCorrector::ReptileCorrector(const seq::ReadSet& converted,
+                                   ReptileParams params, PreconvertedTag)
     : params_(params),
-      spectrum_(kspec::KSpectrum::build(preconvert(reads, params), params.k,
+      spectrum_(kspec::KSpectrum::build(converted, params.k,
                                         /*both_strands=*/true)),
       graph_(spectrum_, params.d),
-      tiles_(kspec::TileTable::build(preconvert(reads, params),
-                                     tile_params_of(params))) {
+      tiles_(kspec::TileTable::build(converted, tile_params_of(params))) {
   if (params_.tile_length() > seq::kMaxK) {
     throw std::invalid_argument("ReptileCorrector: tile longer than 32 bases");
   }

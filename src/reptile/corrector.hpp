@@ -84,6 +84,14 @@ class ReptileCorrector {
                                      CorrectionStats& stats) const;
 
  private:
+  /// Tags the delegated constructor whose read set has already been
+  /// through ambiguous-base preconversion, so the conversion (a full
+  /// read-set copy) runs exactly once per construction and is shared by
+  /// the spectrum and the tile table.
+  struct PreconvertedTag {};
+  ReptileCorrector(const seq::ReadSet& converted, ReptileParams params,
+                   PreconvertedTag);
+
   struct TileOutcome {
     TileDecision decision = TileDecision::kInsufficient;
     seq::KmerCode corrected = 0;

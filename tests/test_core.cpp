@@ -1,0 +1,347 @@
+// Tests for the ngs::core layer: the corrector registry, the streaming
+// FASTQ reader, and the two-pass CorrectionPipeline — in particular the
+// guarantee that the pipeline's file-to-file output is byte-identical to
+// the in-memory Corrector::correct_all path for every registered method.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/corrector.hpp"
+#include "core/pipeline.hpp"
+#include "core/registry.hpp"
+#include "io/fastq_stream.hpp"
+#include "io/fastx.hpp"
+#include "sim/genome.hpp"
+#include "sim/read_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ngs;
+
+sim::SimulatedReads make_run(std::uint64_t seed, double coverage = 25.0) {
+  util::Rng rng(seed);
+  sim::GenomeSpec gspec;
+  gspec.length = 20000;
+  const auto genome = sim::simulate_genome(gspec, rng);
+  const auto model = sim::ErrorModel::illumina(36, 0.01);
+  sim::ReadSimConfig cfg;
+  cfg.read_length = 36;
+  cfg.coverage = coverage;
+  return sim::simulate_reads(genome.sequence, model, cfg, rng);
+}
+
+std::string to_fastq(const seq::ReadSet& reads) {
+  std::ostringstream os;
+  io::write_fastq(os, reads);
+  return os.str();
+}
+
+core::CorrectionPipeline::StreamFactory factory_for(std::string fastq) {
+  return [fastq = std::move(fastq)] {
+    return std::make_unique<std::istringstream>(fastq);
+  };
+}
+
+TEST(CorrectionReport, BumpExtraMergeSummary) {
+  core::CorrectionReport a;
+  a.reads = 10;
+  a.reads_changed = 2;
+  a.bases_changed = 3;
+  a.bump("tiles", 5);
+  a.bump("tiles", 2);
+  EXPECT_EQ(a.extra("tiles"), 7u);
+  EXPECT_EQ(a.extra("missing"), 0u);
+
+  core::CorrectionReport b;
+  b.reads = 1;
+  b.bump("other", 1);
+  b.bump("tiles", 1);
+  a.merge(b);
+  EXPECT_EQ(a.reads, 11u);
+  EXPECT_EQ(a.extra("tiles"), 8u);
+  EXPECT_EQ(a.extra("other"), 1u);
+  const std::string s = a.summary();
+  EXPECT_NE(s.find("11 reads"), std::string::npos);
+  EXPECT_NE(s.find("tiles=8"), std::string::npos);
+}
+
+TEST(Registry, ListsAllSevenBuiltins) {
+  const auto methods = core::registered_methods();
+  std::set<std::string> names;
+  for (const auto& m : methods) names.insert(m.name);
+  for (const char* expected :
+       {"reptile", "redeem", "hybrid", "shrec", "sap", "hitec", "freclu"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+  EXPECT_EQ(names.size(), methods.size()) << "duplicate registrations";
+}
+
+TEST(Registry, UnknownMethodThrowsWithKnownNames) {
+  try {
+    core::make_corrector("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("reptile"), std::string::npos);
+  }
+}
+
+TEST(Registry, StreamingFlagMatchesSpectrumK) {
+  for (const auto& m : core::registered_methods()) {
+    core::CorrectorConfig config;
+    const auto corrector = core::make_corrector(m.name, config);
+    EXPECT_EQ(m.streaming, corrector->spectrum_k() > 0) << m.name;
+    EXPECT_FALSE(corrector->ready()) << m.name;
+  }
+}
+
+TEST(Corrector, CorrectBeforeBuildThrows) {
+  const auto corrector = core::make_corrector("sap");
+  core::CorrectionReport report;
+  seq::ReadSet reads;
+  EXPECT_THROW(corrector->correct_all(reads, report), std::logic_error);
+}
+
+TEST(FastqStreamReader, MatchesReadFastq) {
+  const auto run = make_run(3);
+  const std::string fastq = to_fastq(run.reads);
+
+  std::istringstream is(fastq);
+  io::FastqStreamReader reader(is);
+  seq::Read r;
+  std::size_t i = 0;
+  while (reader.next(r)) {
+    ASSERT_LT(i, run.reads.size());
+    EXPECT_EQ(r.id, run.reads.reads[i].id);
+    EXPECT_EQ(r.bases, run.reads.reads[i].bases);
+    ++i;
+  }
+  EXPECT_EQ(i, run.reads.size());
+  EXPECT_EQ(reader.records(), run.reads.size());
+}
+
+TEST(FastqStreamReader, BatchSizeOneAndOversizedBatch) {
+  const auto run = make_run(5, 2.0);
+  const std::string fastq = to_fastq(run.reads);
+
+  // Batch size 1: one record per call, then 0 at EOF.
+  {
+    std::istringstream is(fastq);
+    io::FastqStreamReader reader(is);
+    std::vector<seq::Read> batch;
+    std::size_t total = 0;
+    while (true) {
+      batch.clear();
+      const std::size_t n = reader.read_batch(batch, 1);
+      if (n == 0) break;
+      ASSERT_EQ(n, 1u);
+      ASSERT_EQ(batch.size(), 1u);
+      EXPECT_EQ(batch[0].bases, run.reads.reads[total].bases);
+      ++total;
+    }
+    EXPECT_EQ(total, run.reads.size());
+  }
+
+  // Batch larger than the file: everything arrives in one call.
+  {
+    std::istringstream is(fastq);
+    io::FastqStreamReader reader(is);
+    std::vector<seq::Read> batch;
+    EXPECT_EQ(reader.read_batch(batch, run.reads.size() * 10),
+              run.reads.size());
+    EXPECT_EQ(batch.size(), run.reads.size());
+    EXPECT_EQ(reader.read_batch(batch, 8), 0u);
+  }
+}
+
+TEST(FastqStreamReader, AppendsWithoutClearing) {
+  std::istringstream is("@a\nACGT\n+\nIIII\n@b\nTTTT\n+\nIIII\n");
+  io::FastqStreamReader reader(is);
+  std::vector<seq::Read> batch;
+  EXPECT_EQ(reader.read_batch(batch, 1), 1u);
+  EXPECT_EQ(reader.read_batch(batch, 1), 1u);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, "a");
+  EXPECT_EQ(batch[1].id, "b");
+}
+
+TEST(FastqStreamReader, TruncatedRecordThrows) {
+  // Record cut off after the '+' separator.
+  std::istringstream is("@a\nACGT\n+\nIIII\n@b\nTTTT\n+\n");
+  io::FastqStreamReader reader(is);
+  seq::Read r;
+  EXPECT_TRUE(reader.next(r));
+  EXPECT_THROW(reader.next(r), std::runtime_error);
+}
+
+TEST(FastqStreamReader, MalformedRecordsThrow) {
+  seq::Read r;
+  {
+    std::istringstream is("ACGT\n+\nIIII\n");  // header missing '@'
+    io::FastqStreamReader reader(is);
+    EXPECT_THROW(reader.next(r), std::runtime_error);
+  }
+  {
+    std::istringstream is("@a\nACGT\nIIII\n@b\n");  // '+' missing
+    io::FastqStreamReader reader(is);
+    EXPECT_THROW(reader.next(r), std::runtime_error);
+  }
+  {
+    std::istringstream is("@a\nACGT\n+\nIII\n");  // length mismatch
+    io::FastqStreamReader reader(is);
+    EXPECT_THROW(reader.next(r), std::runtime_error);
+  }
+}
+
+TEST(FastqStreamReader, MissingFileThrows) {
+  EXPECT_THROW(io::FastqStreamReader("/nonexistent/path.fastq"),
+               std::runtime_error);
+}
+
+// The central pipeline guarantee: file-to-file streaming correction is
+// byte-identical to in-memory build + correct_all, for every method.
+TEST(CorrectionPipeline, ByteIdenticalToCorrectAllForEveryMethod) {
+  const auto run = make_run(11);
+  const std::string input = to_fastq(run.reads);
+
+  for (const auto& m : core::registered_methods()) {
+    core::CorrectorConfig config;
+    config.genome_length = 20000;
+    if (m.name == "redeem" || m.name == "hybrid") config.error_rate = 0.01;
+
+    // Reference: the in-memory path.
+    auto reference = core::make_corrector(m.name, config);
+    reference->build(run.reads);
+    core::CorrectionReport ref_report;
+    const auto ref_out = reference->correct_all(run.reads, ref_report);
+    std::ostringstream ref_fastq;
+    io::write_fastq(ref_fastq, std::span<const seq::Read>(ref_out));
+
+    // Candidate: the streaming pipeline over the same bytes, with a batch
+    // size that does not divide the input evenly.
+    core::PipelineOptions options;
+    options.batch_size = 257;
+    core::CorrectionPipeline pipeline(core::make_corrector(m.name, config),
+                                      options);
+    std::ostringstream out;
+    const auto result = pipeline.run(factory_for(input), out);
+
+    EXPECT_EQ(out.str(), ref_fastq.str()) << m.name;
+    EXPECT_EQ(result.report.reads, run.reads.size()) << m.name;
+    EXPECT_EQ(result.report.reads_changed, ref_report.reads_changed) << m.name;
+    EXPECT_EQ(result.report.bases_changed, ref_report.bases_changed) << m.name;
+    EXPECT_EQ(result.streamed, m.streaming) << m.name;
+    EXPECT_EQ(result.input.reads, run.reads.size()) << m.name;
+  }
+}
+
+// O(batch) read buffering on the streamed path, via the pipeline's own
+// accounting plus the util/memory.hpp RSS hook.
+TEST(CorrectionPipeline, StreamedPathBuffersOnlyOneBatch) {
+  const auto run = make_run(13);
+  const std::string input = to_fastq(run.reads);
+  ASSERT_GT(run.reads.size(), 256u);
+
+  core::CorrectorConfig config;
+  core::PipelineOptions options;
+  options.batch_size = 256;
+  core::CorrectionPipeline pipeline(core::make_corrector("sap", config),
+                                    options);
+  std::ostringstream out;
+  const auto result = pipeline.run(factory_for(input), out);
+
+  EXPECT_TRUE(result.streamed);
+  EXPECT_LE(result.peak_buffered_reads, options.batch_size);
+  EXPECT_GT(result.peak_rss_bytes, 0u);
+  EXPECT_EQ(result.batches,
+            (run.reads.size() + options.batch_size - 1) / options.batch_size);
+}
+
+TEST(CorrectionPipeline, BufferedPathHoldsWholeInput) {
+  const auto run = make_run(17, 5.0);
+  const std::string input = to_fastq(run.reads);
+
+  core::PipelineOptions options;
+  options.batch_size = 64;
+  core::CorrectionPipeline pipeline(core::make_corrector("reptile", {}),
+                                    options);
+  std::ostringstream out;
+  const auto result = pipeline.run(factory_for(input), out);
+
+  EXPECT_FALSE(result.streamed);
+  EXPECT_EQ(result.peak_buffered_reads, run.reads.size());
+  EXPECT_EQ(result.report.reads, run.reads.size());
+}
+
+TEST(CorrectionPipeline, OwnThreadCountMatchesDefaultPoolOutput) {
+  const auto run = make_run(19, 10.0);
+  const std::string input = to_fastq(run.reads);
+
+  std::string outputs[2];
+  for (int i = 0; i < 2; ++i) {
+    core::PipelineOptions options;
+    options.batch_size = 100;
+    options.threads = i == 0 ? 0 : 3;
+    core::CorrectionPipeline pipeline(core::make_corrector("hitec", {}),
+                                      options);
+    std::ostringstream out;
+    pipeline.run(factory_for(input), out);
+    outputs[i] = out.str();
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_FALSE(outputs[0].empty());
+}
+
+TEST(CorrectionPipeline, NullCorrectorThrows) {
+  EXPECT_THROW(core::CorrectionPipeline(nullptr), std::invalid_argument);
+}
+
+TEST(CorrectionPipeline, EmptyInputProducesEmptyOutput) {
+  core::CorrectionPipeline pipeline(core::make_corrector("sap", {}));
+  std::ostringstream out;
+  const auto result = pipeline.run(factory_for(""), out);
+  EXPECT_EQ(out.str(), "");
+  EXPECT_EQ(result.report.reads, 0u);
+  EXPECT_EQ(result.batches, 0u);
+}
+
+TEST(Registry, CustomRegistrationShadowsAndLists) {
+  // A test double registered under a fresh name shows up in the list and
+  // is constructible through make_corrector.
+  class Passthrough final : public core::Corrector {
+   public:
+    std::string_view method() const noexcept override { return "identity"; }
+    void build(const seq::ReadSet&) override { mark_ready(); }
+    void correct_batch(std::span<const seq::Read> in,
+                       std::vector<seq::Read>& out,
+                       core::CorrectionReport& report) const override {
+      require_ready();
+      for (const auto& r : in) {
+        out.push_back(r);
+        core::tally_read(r, r, report);
+      }
+    }
+  };
+  core::register_corrector({"identity", "test passthrough", false},
+                           [](const core::CorrectorConfig&) {
+                             return std::make_unique<Passthrough>();
+                           });
+  const auto corrector = core::make_corrector("identity");
+  seq::ReadSet reads;
+  reads.reads.push_back({"r1", "ACGT", {30, 30, 30, 30}});
+  corrector->build(reads);
+  core::CorrectionReport report;
+  const auto out = corrector->correct_all(reads, report);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].bases, "ACGT");
+  EXPECT_EQ(report.reads, 1u);
+  EXPECT_EQ(report.reads_changed, 0u);
+}
+
+}  // namespace

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "util/memory.hpp"
 #include "util/rng.hpp"
@@ -178,6 +181,76 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   bool ran = false;
   pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, BlockedCoversRangeInContiguousBlocks) {
+  ngs::util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  pool.parallel_for_blocked(0, hits.size(),
+                            [&](std::size_t lo, std::size_t hi) {
+                              ASSERT_LT(lo, hi);
+                              for (std::size_t i = lo; i < hi; ++i)
+                                hits[i].fetch_add(1);
+                            });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, BlockedPropagatesExceptions) {
+  ngs::util::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_blocked(0, 100,
+                                [](std::size_t lo, std::size_t) {
+                                  if (lo > 0) throw std::runtime_error("boom");
+                                }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, BlockedEmptyRangeIsNoop) {
+  ngs::util::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for_blocked(9, 9, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  pool.parallel_for_blocked(9, 3, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SubmitRunsFifoOnSingleWorker) {
+  // With one worker the deque is drained front-to-back, so submission
+  // order is execution order.
+  ngs::util::ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, SubmitUnderContentionRunsEachTaskOnce) {
+  // Several threads race to submit; every task must run exactly once and
+  // every future must become ready.
+  ngs::util::ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kPerSubmitter = 50;
+  std::vector<std::atomic<int>> counts(kSubmitters * kPerSubmitter);
+  std::mutex futures_mutex;
+  std::vector<std::future<void>> futures;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        auto f = pool.submit(
+            [&counts, idx = s * kPerSubmitter + i] { counts[idx].fetch_add(1); });
+        std::lock_guard<std::mutex> lock(futures_mutex);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (auto& f : futures) f.get();
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
 }
 
 TEST(StageTimes, AccumulatesInOrder) {

@@ -1,27 +1,24 @@
 // ngs-correct — correct sequencing errors in a FASTQ with any of the
-// implemented methods.
+// registered methods, through the two-pass streaming correction
+// pipeline (bounded read buffering for spectrum-based methods, parallel
+// batch correction, order-preserving batched writes).
 //
 //   ngs-correct --in reads.fastq --out corrected.fastq \\
-//               --method reptile --genome-length 100000
+//               --method reptile --genome-length 100000 \\
+//               --threads 8 --batch-size 4096
 //
-// Methods: reptile (default), shrec, sap, hitec, freclu, redeem, hybrid.
-// REDEEM and hybrid need an error-rate estimate for their misread model
-// (use ngs-simulate's value, or a control-lane estimate).
+//   ngs-correct --method list       # discover registered methods
+//
+// Method dispatch lives entirely in core::make_corrector; this tool
+// never names an individual method.
 
+#include <exception>
 #include <iostream>
 
-#include "baselines/freclu.hpp"
-#include "baselines/hitec.hpp"
-#include "baselines/sap.hpp"
-#include "io/fastx.hpp"
-#include "kspec/kspectrum.hpp"
-#include "redeem/corrector.hpp"
-#include "redeem/em_model.hpp"
-#include "redeem/error_dist.hpp"
-#include "redeem/hybrid.hpp"
-#include "reptile/corrector.hpp"
-#include "shrec/shrec.hpp"
+#include "core/pipeline.hpp"
+#include "core/registry.hpp"
 #include "util/cli.hpp"
+#include "util/memory.hpp"
 #include "util/timer.hpp"
 
 using namespace ngs;
@@ -30,8 +27,7 @@ int main(int argc, char** argv) {
   util::CliParser cli("ngs-correct", "short-read error correction");
   cli.add_option("in", "input FASTQ", true, "");
   cli.add_option("out", "output FASTQ", true, "corrected.fastq");
-  cli.add_option("method",
-                 "reptile | shrec | sap | hitec | freclu | redeem | hybrid",
+  cli.add_option("method", "correction method (use 'list' to enumerate)",
                  true, "reptile");
   cli.add_option("genome-length", "genome length estimate (bp)", true,
                  "1000000");
@@ -39,102 +35,61 @@ int main(int argc, char** argv) {
                  "0");
   cli.add_option("error-rate", "error-rate estimate for redeem/hybrid", true,
                  "0.01");
+  cli.add_option("threads", "correction worker threads (0 = all cores)", true,
+                 "0");
+  cli.add_option("batch-size", "reads per streamed batch", true, "4096");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage();
     return 2;
+  }
+  const std::string method_name = cli.get("method", "reptile");
+  if (method_name == "list") {
+    for (const auto& info : core::registered_methods()) {
+      std::cout << info.name << '\t'
+                << (info.streaming ? "streaming" : "buffered") << '\t'
+                << info.description << '\n';
+    }
+    return 0;
   }
   if (cli.help_requested() || cli.get("in").empty()) {
     std::cout << cli.usage();
     return cli.help_requested() ? 0 : 2;
   }
 
-  const auto reads = io::read_fastq_file(cli.get("in"));
-  const auto genome_length =
+  core::CorrectorConfig config;
+  config.genome_length =
       static_cast<std::uint64_t>(cli.get_int("genome-length", 1000000));
-  const std::string method = cli.get("method", "reptile");
-  std::cerr << "read " << reads.size() << " reads; method=" << method << "\n";
+  config.k = static_cast<int>(cli.get_int("k", 0));
+  config.error_rate = cli.get_double("error-rate", 0.01);
 
-  util::Timer timer;
-  std::vector<seq::Read> corrected;
-  if (method == "reptile" || method == "hybrid") {
-    auto params = reptile::select_parameters(reads, genome_length);
-    if (cli.get_int("k", 0) > 0) {
-      params.k = static_cast<int>(cli.get_int("k", 0));
-    }
-    if (method == "reptile") {
-      reptile::ReptileCorrector corrector(reads, params);
-      reptile::CorrectionStats stats;
-      corrected = corrector.correct_all(reads, stats);
-      std::cerr << "changed " << stats.bases_changed << " bases\n";
-    } else {
-      redeem::HybridParams hp;
-      hp.reptile = params;
-      std::size_t max_len = 0;
-      for (const auto& r : reads.reads) max_len = std::max(max_len, r.length());
-      const auto model = sim::ErrorModel::illumina(
-          max_len, cli.get_double("error-rate", 0.01));
-      const auto q = redeem::kmer_error_matrices(
-          redeem::ErrorDistKind::kTrueIllumina, hp.redeem_k, model);
-      redeem::HybridCorrector corrector(q, hp);
-      redeem::HybridStats stats;
-      corrected = corrector.correct_all(reads, stats);
-      std::cerr << "changed " << stats.redeem.bases_changed << " (REDEEM) + "
-                << stats.reptile.bases_changed << " (Reptile) bases\n";
-    }
-  } else if (method == "shrec") {
-    shrec::ShrecParams params;
-    params.genome_length = genome_length;
-    shrec::ShrecCorrector corrector(params);
-    shrec::ShrecStats stats;
-    corrected = corrector.correct_all(reads, stats);
-    std::cerr << "applied " << stats.corrections_applied << " corrections\n";
-  } else if (method == "sap") {
-    baselines::SapParams params;
-    if (cli.get_int("k", 0) > 0) params.k = static_cast<int>(cli.get_int("k", 0));
-    baselines::SapCorrector corrector(reads, params);
-    baselines::SapStats stats;
-    corrected = corrector.correct_all(reads, stats);
-    std::cerr << "fixed " << stats.reads_fixed << " reads ("
-              << stats.reads_unfixable << " unfixable)\n";
-  } else if (method == "hitec") {
-    baselines::HitecParams params;
-    if (cli.get_int("k", 0) > 0) params.k = static_cast<int>(cli.get_int("k", 0));
-    baselines::HitecCorrector corrector(reads, params);
-    baselines::HitecStats stats;
-    corrected = corrector.correct_all(reads, stats);
-    std::cerr << "applied " << stats.corrections << " corrections\n";
-  } else if (method == "freclu") {
-    baselines::FrecluCorrector corrector({});
-    baselines::FrecluStats stats;
-    corrected = corrector.correct_all(reads, stats);
-    std::cerr << "corrected " << stats.reads_corrected << " reads across "
-              << stats.trees << " trees\n";
-  } else if (method == "redeem") {
-    std::size_t max_len = 0;
-    for (const auto& r : reads.reads) max_len = std::max(max_len, r.length());
-    const int k = cli.get_int("k", 0) > 0
-                      ? static_cast<int>(cli.get_int("k", 0))
-                      : 11;
-    const auto model = sim::ErrorModel::illumina(
-        max_len, cli.get_double("error-rate", 0.01));
-    const auto q = redeem::kmer_error_matrices(
-        redeem::ErrorDistKind::kTrueIllumina, k, model);
-    const auto spectrum = kspec::KSpectrum::build(reads, k, false);
-    const redeem::RedeemModel em(spectrum, q, {});
-    redeem::RedeemCorrector corrector(em, {});
-    redeem::RedeemCorrectionStats stats;
-    corrected = corrector.correct_all(reads, stats);
-    std::cerr << "changed " << stats.bases_changed << " bases ("
-              << stats.reads_flagged << " reads flagged)\n";
-  } else {
-    std::cerr << "unknown method: " << method << "\n" << cli.usage();
+  std::unique_ptr<core::Corrector> corrector;
+  try {
+    corrector = core::make_corrector(method_name, config);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n" << cli.usage();
     return 2;
   }
 
-  seq::ReadSet out;
-  out.reads = std::move(corrected);
-  io::write_fastq_file(cli.get("out"), out);
+  core::PipelineOptions options;
+  options.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  options.batch_size =
+      static_cast<std::size_t>(cli.get_int("batch-size", 4096));
+  core::CorrectionPipeline pipeline(std::move(corrector), options);
+
+  util::Timer timer;
+  core::PipelineResult result;
+  try {
+    result = pipeline.run_file(cli.get("in"), cli.get("out"));
+  } catch (const std::exception& e) {
+    std::cerr << "ngs-correct: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "method=" << method_name
+            << (result.streamed ? " (streamed spectrum)" : " (buffered)")
+            << ": " << result.report.summary() << "\n";
   std::cerr << "wrote " << cli.get("out") << " in " << timer.seconds()
-            << "s\n";
+            << "s (" << result.batches << " batches, peak "
+            << result.peak_buffered_reads << " buffered reads, peak rss "
+            << util::to_gib(result.peak_rss_bytes) << " GiB)\n";
   return 0;
 }
