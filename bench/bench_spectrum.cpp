@@ -1,0 +1,179 @@
+// Spectrum construction + lookup microbench. Builds the Table 2.1
+// D3-scale simulated dataset, times the serial seed path against the
+// radix-partitioned parallel build at several thread counts (verifying
+// byte-identical spectra), and times index_of with and without the
+// prefix-bucket index. Emits BENCH_spectrum.json (path overridable via
+// NGS_BENCH_JSON) so the perf trajectory of the k-spectrum stack is
+// recorded run over run.
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "kspec/chunked_builder.hpp"
+#include "kspec/kspectrum.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace ngs;
+
+namespace {
+
+bool identical(const kspec::KSpectrum& a, const kspec::KSpectrum& b) {
+  return a.size() == b.size() && a.total_instances() == b.total_instances() &&
+         std::equal(a.codes().begin(), a.codes().end(), b.codes().begin(),
+                    b.codes().end()) &&
+         std::equal(a.counts().begin(), a.counts().end(), b.counts().begin(),
+                    b.counts().end());
+}
+
+/// Best-of-n wall time of fn().
+template <typename F>
+double best_seconds(int n, F&& fn) {
+  double best = 1e30;
+  for (int i = 0; i < n; ++i) {
+    util::Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::scale_or(1.0);
+  const int k = 13;
+  constexpr int kRepeats = 3;
+  bench::print_header(
+      "Spectrum build + lookup microbench (Table 2.1 D3-scale)",
+      "Radix-partitioned parallel build vs the serial seed path; "
+      "prefix-indexed vs full-range binary-search lookups.");
+
+  const auto specs = sim::chapter2_specs(scale);
+  const auto& d3_spec = specs.at(2);  // D3
+  const auto d3 = sim::make_dataset(d3_spec, 42);
+  const auto& reads = d3.sim.reads;
+  std::cout << "dataset=" << d3_spec.name << " (" << d3_spec.genome_label
+            << "), reads=" << reads.size() << ", bases=" << reads.total_bases()
+            << ", k=" << k << ", hardware_threads="
+            << std::thread::hardware_concurrency() << "\n\n";
+
+  // --- Build: serial seed path vs parallel radix path. ---
+  kspec::SpectrumBuildOptions serial;
+  serial.threads = 1;
+  kspec::KSpectrum reference;
+  const double serial_s = best_seconds(
+      kRepeats, [&] { reference = kspec::KSpectrum::build(reads, k, true, serial); });
+
+  struct BuildRow {
+    std::size_t threads;
+    double seconds;
+    bool identical;
+  };
+  std::vector<BuildRow> builds;
+  util::Table build_table({"Threads", "Build (s)", "Speedup", "Identical"});
+  build_table.add_row({"serial (seed)", util::Table::fixed(serial_s, 4),
+                       "1.00x", "-"});
+  for (const std::size_t threads : {1ul, 2ul, 4ul, 8ul}) {
+    util::ThreadPool pool(threads);
+    kspec::SpectrumBuildOptions opts;
+    opts.pool = &pool;
+    kspec::KSpectrum spec;
+    const double s = best_seconds(
+        kRepeats, [&] { spec = kspec::KSpectrum::build(reads, k, true, opts); });
+    const bool same = identical(spec, reference);
+    builds.push_back({threads, s, same});
+    build_table.add_row({std::to_string(threads), util::Table::fixed(s, 4),
+                         util::Table::fixed(serial_s / s, 2) + "x",
+                         same ? "yes" : "NO"});
+  }
+  build_table.print(std::cout);
+  std::cout << "\n";
+
+  // --- Streamed (chunked) build, as pipeline pass 1 sees it. ---
+  double chunked_s = 0.0;
+  {
+    util::ThreadPool pool(0);
+    chunked_s = best_seconds(kRepeats, [&] {
+      kspec::ChunkedSpectrumBuilder builder(k, true, 1 << 20, &pool);
+      builder.add_reads(reads);
+      const auto spec = builder.finish();
+      if (!identical(spec, reference)) std::abort();
+    });
+    std::cout << "chunked streamed build (default pool): "
+              << util::Table::fixed(chunked_s, 4) << " s\n\n";
+  }
+
+  // --- Lookup: prefix index on/off over a hit/miss query mix. ---
+  util::Rng rng(1234);
+  const seq::KmerCode mask = (seq::KmerCode{1} << (2 * k)) - 1;
+  std::vector<seq::KmerCode> queries;
+  queries.reserve(1 << 20);
+  for (std::size_t i = 0; i < (1u << 19); ++i) {
+    queries.push_back(reference.code_at(rng.below(reference.size())));
+    queries.push_back(rng() & mask);
+  }
+  auto run_lookups = [&]() -> std::uint64_t {
+    std::uint64_t hits = 0;
+    for (const auto q : queries) hits += reference.index_of(q) >= 0;
+    return hits;
+  };
+
+  reference.rebuild_prefix_index(0);  // plain full-range binary search
+  volatile std::uint64_t sink = 0;
+  const double plain_s = best_seconds(kRepeats, [&] { sink += run_lookups(); });
+  reference.rebuild_prefix_index(-1);  // auto width
+  const int prefix_bits = reference.prefix_index_bits();
+  const double prefix_s = best_seconds(kRepeats, [&] { sink += run_lookups(); });
+  const double plain_ns = 1e9 * plain_s / static_cast<double>(queries.size());
+  const double prefix_ns = 1e9 * prefix_s / static_cast<double>(queries.size());
+
+  util::Table lookup_table({"index_of path", "ns/lookup", "Speedup"});
+  lookup_table.add_row({"full-range lower_bound",
+                        util::Table::fixed(plain_ns, 1), "1.00x"});
+  lookup_table.add_row({"prefix index (p=" + std::to_string(prefix_bits) + ")",
+                        util::Table::fixed(prefix_ns, 1),
+                        util::Table::fixed(plain_ns / prefix_ns, 2) + "x"});
+  lookup_table.print(std::cout);
+  std::cout << "\nspectrum: " << reference.size() << " distinct kmers, "
+            << reference.total_instances() << " instances, prefix table "
+            << reference.prefix_index_bytes() << " bytes, peak rss "
+            << bench::mem_gb() << " GiB\n";
+
+  // --- JSON record. ---
+  const char* json_path = std::getenv("NGS_BENCH_JSON");
+  std::ofstream json(json_path != nullptr ? json_path : "BENCH_spectrum.json");
+  json << "{\n"
+       << "  \"bench\": \"spectrum\",\n"
+       << "  \"dataset\": \"" << d3_spec.name << "\",\n"
+       << "  \"scale\": " << scale << ",\n"
+       << "  \"k\": " << k << ",\n"
+       << "  \"reads\": " << reads.size() << ",\n"
+       << "  \"bases\": " << reads.total_bases() << ",\n"
+       << "  \"distinct_kmers\": " << reference.size() << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"serial_build_s\": " << serial_s << ",\n"
+       << "  \"chunked_build_s\": " << chunked_s << ",\n"
+       << "  \"parallel_builds\": [\n";
+  for (std::size_t i = 0; i < builds.size(); ++i) {
+    json << "    {\"threads\": " << builds[i].threads
+         << ", \"seconds\": " << builds[i].seconds
+         << ", \"speedup_vs_serial\": " << serial_s / builds[i].seconds
+         << ", \"byte_identical\": " << (builds[i].identical ? "true" : "false")
+         << "}" << (i + 1 < builds.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"lookup\": {\"queries\": " << queries.size()
+       << ", \"plain_ns\": " << plain_ns << ", \"prefix_ns\": " << prefix_ns
+       << ", \"prefix_bits\": " << prefix_bits
+       << ", \"speedup\": " << plain_ns / prefix_ns << "}\n"
+       << "}\n";
+  std::cout << "wrote " << (json_path != nullptr ? json_path : "BENCH_spectrum.json")
+            << "\n";
+  return 0;
+}

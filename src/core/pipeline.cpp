@@ -55,10 +55,17 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
   if (corrector_->spectrum_k() > 0) {
     result.streamed = true;
     // Pass 1: stream batches into the bounded-memory spectrum builder.
+    // Batch sorts and run merges run on their own pool when
+    // spectrum_threads is set, otherwise on the correction pool.
     {
+      std::optional<util::ThreadPool> spectrum_pool;
+      if (options_.spectrum_threads > 0) {
+        spectrum_pool.emplace(options_.spectrum_threads);
+      }
       kspec::ChunkedSpectrumBuilder builder(
           corrector_->spectrum_k(), corrector_->spectrum_both_strands(),
-          options_.spectrum_batch_instances);
+          options_.spectrum_batch_instances,
+          spectrum_pool ? &*spectrum_pool : &pool);
       auto is = open_input();
       io::FastqStreamReader reader(*is);
       while (reader.read_batch(in_batch, batch_size) > 0) {

@@ -36,6 +36,9 @@ struct PipelineOptions {
   /// Worker threads for batch correction; 0 = the shared default pool.
   /// Whole-set methods parallelize internally on the default pool.
   std::size_t threads = 0;
+  /// Worker threads for the pass-1 radix-partitioned spectrum build
+  /// (batch sorts + run merges); 0 = share the correction pool.
+  std::size_t spectrum_threads = 0;
   /// Kmer instances buffered per ChunkedSpectrumBuilder batch in pass 1.
   std::size_t spectrum_batch_instances = 1 << 20;
 };

@@ -2,15 +2,19 @@
 
 #include <algorithm>
 
+#include "kspec/radix.hpp"
 #include "seq/alphabet.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ngs::kspec {
 
 ChunkedSpectrumBuilder::ChunkedSpectrumBuilder(int k, bool both_strands,
-                                               std::size_t batch_instances)
+                                               std::size_t batch_instances,
+                                               util::ThreadPool* pool)
     : k_(k),
       both_strands_(both_strands),
-      batch_instances_(std::max<std::size_t>(1024, batch_instances)) {}
+      batch_instances_(std::max<std::size_t>(1024, batch_instances)),
+      pool_(pool) {}
 
 void ChunkedSpectrumBuilder::add_read(std::string_view bases) {
   seq::extract_kmer_codes(bases, k_, buffer_);
@@ -42,15 +46,11 @@ void ChunkedSpectrumBuilder::add_fastq(std::istream& fastq) {
 
 void ChunkedSpectrumBuilder::flush_batch() {
   if (buffer_.empty()) return;
-  std::sort(buffer_.begin(), buffer_.end());
-  std::vector<std::pair<seq::KmerCode, std::uint32_t>> run;
-  for (std::size_t i = 0; i < buffer_.size();) {
-    std::size_t j = i;
-    while (j < buffer_.size() && buffer_[j] == buffer_[i]) ++j;
-    run.emplace_back(buffer_[i], static_cast<std::uint32_t>(j - i));
-    i = j;
-  }
-  buffer_.clear();
+  Run run;
+  RadixSortOptions radix;
+  radix.pool = pool_;  // nullptr -> default pool
+  radix_sort_and_count(std::move(buffer_), k_, run.codes, run.counts, radix);
+  buffer_ = {};
 
   // Binary-counter merging: a new run cascades into equal-or-smaller
   // predecessors, keeping O(log batches) live runs.
@@ -62,54 +62,64 @@ void ChunkedSpectrumBuilder::flush_batch() {
   runs_.push_back(std::move(run));
 }
 
-std::vector<std::pair<seq::KmerCode, std::uint32_t>>
-ChunkedSpectrumBuilder::merge_runs(
-    const std::vector<std::pair<seq::KmerCode, std::uint32_t>>& a,
-    const std::vector<std::pair<seq::KmerCode, std::uint32_t>>& b) {
-  std::vector<std::pair<seq::KmerCode, std::uint32_t>> out;
-  out.reserve(a.size() + b.size());
+ChunkedSpectrumBuilder::Run ChunkedSpectrumBuilder::merge_runs(const Run& a,
+                                                               const Run& b) {
+  Run out;
+  out.codes.reserve(a.size() + b.size());
+  out.counts.reserve(a.size() + b.size());
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
-    if (a[i].first < b[j].first) {
-      out.push_back(a[i++]);
-    } else if (b[j].first < a[i].first) {
-      out.push_back(b[j++]);
+    if (a.codes[i] < b.codes[j]) {
+      out.codes.push_back(a.codes[i]);
+      out.counts.push_back(a.counts[i]);
+      ++i;
+    } else if (b.codes[j] < a.codes[i]) {
+      out.codes.push_back(b.codes[j]);
+      out.counts.push_back(b.counts[j]);
+      ++j;
     } else {
-      out.emplace_back(a[i].first, a[i].second + b[j].second);
+      out.codes.push_back(a.codes[i]);
+      out.counts.push_back(a.counts[i] + b.counts[j]);
       ++i;
       ++j;
     }
   }
-  while (i < a.size()) out.push_back(a[i++]);
-  while (j < b.size()) out.push_back(b[j++]);
+  for (; i < a.size(); ++i) {
+    out.codes.push_back(a.codes[i]);
+    out.counts.push_back(a.counts[i]);
+  }
+  for (; j < b.size(); ++j) {
+    out.codes.push_back(b.codes[j]);
+    out.counts.push_back(b.counts[j]);
+  }
   return out;
 }
 
 KSpectrum ChunkedSpectrumBuilder::finish(int* merge_rounds) {
   flush_batch();
-  std::vector<std::pair<seq::KmerCode, std::uint32_t>> all;
-  for (auto& run : runs_) {
-    all = all.empty() ? std::move(run) : merge_runs(all, run);
-    ++merge_rounds_;
+  // Tree reduction: merge disjoint run pairs concurrently per round
+  // (counts over equal keys are associative and commutative, so any
+  // merge order yields the identical final arrays).
+  util::ThreadPool& pool =
+      pool_ != nullptr ? *pool_ : util::default_pool();
+  while (runs_.size() > 1) {
+    const std::size_t pairs = runs_.size() / 2;
+    std::vector<Run> next(pairs + runs_.size() % 2);
+    pool.parallel_for(0, pairs, [&](std::size_t p) {
+      next[p] = merge_runs(runs_[2 * p], runs_[2 * p + 1]);
+    });
+    if (runs_.size() % 2 != 0) next.back() = std::move(runs_.back());
+    merge_rounds_ += static_cast<int>(pairs);
+    runs_ = std::move(next);
   }
+  Run all = runs_.empty() ? Run{} : std::move(runs_.front());
   runs_.clear();
   if (merge_rounds != nullptr) *merge_rounds = merge_rounds_;
   merge_rounds_ = 0;
   peak_buffered_ = 0;
 
-  // Expand into the KSpectrum representation without re-sorting: feed
-  // from_codes pre-aggregated counts via its raw arrays. KSpectrum only
-  // exposes from_codes(instances), so rebuild through a compact path:
-  std::vector<seq::KmerCode> codes;
-  std::vector<std::uint32_t> counts;
-  codes.reserve(all.size());
-  counts.reserve(all.size());
-  for (const auto& [code, count] : all) {
-    codes.push_back(code);
-    counts.push_back(count);
-  }
-  return KSpectrum::from_sorted_counts(std::move(codes), std::move(counts),
-                                       k_);
+  return KSpectrum::from_sorted_counts(std::move(all.codes),
+                                       std::move(all.counts), k_);
 }
 
 }  // namespace ngs::kspec

@@ -11,6 +11,11 @@
 // (code, count) run, and merges runs pairwise so peak memory stays
 // proportional to the *distinct*-kmer volume plus one batch — never the
 // full instance multiset that KSpectrum::build materializes.
+//
+// Batch sorts go through the radix-partitioned parallel path
+// (kspec/radix.hpp) and the final cascade merges independent run pairs
+// concurrently on the same pool, so pass 1 of the correction pipeline
+// scales with cores while producing byte-identical spectra.
 
 #include <cstdint>
 #include <functional>
@@ -21,14 +26,21 @@
 #include "kspec/tile_table.hpp"
 #include "seq/read.hpp"
 
+namespace ngs::util {
+class ThreadPool;
+}
+
 namespace ngs::kspec {
 
 class ChunkedSpectrumBuilder {
  public:
   /// `batch_instances` bounds the number of kmer instances buffered
   /// before a batch is sorted and merged (the "portion of main memory").
+  /// `pool` runs batch sorts and run merges; nullptr = the shared
+  /// default pool.
   explicit ChunkedSpectrumBuilder(int k, bool both_strands = true,
-                                  std::size_t batch_instances = 1 << 20);
+                                  std::size_t batch_instances = 1 << 20,
+                                  util::ThreadPool* pool = nullptr);
 
   /// Streams one read's kmers into the current batch.
   void add_read(std::string_view bases);
@@ -47,19 +59,26 @@ class ChunkedSpectrumBuilder {
   std::size_t peak_buffered() const noexcept { return peak_buffered_; }
 
  private:
+  /// One sorted distinct-(code, count) run, stored as parallel arrays so
+  /// the last surviving run hands straight to KSpectrum::from_sorted_counts.
+  struct Run {
+    std::vector<seq::KmerCode> codes;
+    std::vector<std::uint32_t> counts;
+    std::size_t size() const noexcept { return codes.size(); }
+  };
+
   void flush_batch();
-  static std::vector<std::pair<seq::KmerCode, std::uint32_t>> merge_runs(
-      const std::vector<std::pair<seq::KmerCode, std::uint32_t>>& a,
-      const std::vector<std::pair<seq::KmerCode, std::uint32_t>>& b);
+  static Run merge_runs(const Run& a, const Run& b);
 
   int k_;
   bool both_strands_;
   std::size_t batch_instances_;
+  util::ThreadPool* pool_;
   std::vector<seq::KmerCode> buffer_;
-  /// Sorted distinct (code, count) runs awaiting the final merge; run i
-  /// holds ~2^i merged batches (binary-counter merging, so each instance
-  /// is merged O(log batches) times).
-  std::vector<std::vector<std::pair<seq::KmerCode, std::uint32_t>>> runs_;
+  /// Sorted distinct runs awaiting the final merge; run i holds ~2^i
+  /// merged batches (binary-counter merging, so each instance is merged
+  /// O(log batches) times).
+  std::vector<Run> runs_;
   std::size_t peak_buffered_ = 0;
   int merge_rounds_ = 0;
 };

@@ -1,30 +1,60 @@
 #include "kspec/kspectrum.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <optional>
 #include <stdexcept>
 
+#include "kspec/radix.hpp"
 #include "seq/alphabet.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ngs::kspec {
 
-KSpectrum KSpectrum::from_codes(std::vector<seq::KmerCode> codes, int k) {
-  std::sort(codes.begin(), codes.end());
+namespace {
+
+/// Auto prefix-index width: ~32 codes per bucket, capped so the offset
+/// table stays a few MB and never exceeds the key width.
+int auto_prefix_bits(std::size_t size, int k) noexcept {
+  if (size < 64) return 0;
+  return std::clamp(static_cast<int>(std::bit_width(size / 32)), 1,
+                    std::min(2 * k, 20));
+}
+
+}  // namespace
+
+KSpectrum KSpectrum::from_instances(std::vector<seq::KmerCode> instances,
+                                    int k,
+                                    const SpectrumBuildOptions& options) {
   KSpectrum s;
   s.k_ = k;
-  s.total_ = codes.size();
-  for (std::size_t i = 0; i < codes.size();) {
-    std::size_t j = i;
-    while (j < codes.size() && codes[j] == codes[i]) ++j;
-    s.codes_.push_back(codes[i]);
-    s.counts_.push_back(static_cast<std::uint32_t>(j - i));
-    i = j;
+  s.total_ = instances.size();
+  if (options.threads == 1) {
+    serial_sort_and_count(std::move(instances), s.codes_, s.counts_);
+  } else {
+    std::optional<util::ThreadPool> own_pool;
+    RadixSortOptions radix;
+    radix.radix_bits = options.radix_bits;
+    if (options.pool != nullptr) {
+      radix.pool = options.pool;
+    } else if (options.threads > 1) {
+      own_pool.emplace(options.threads);
+      radix.pool = &*own_pool;
+    }  // else nullptr -> util::default_pool()
+    radix_sort_and_count(std::move(instances), k, s.codes_, s.counts_, radix);
   }
+  s.rebuild_prefix_index(options.prefix_index_bits);
   return s;
+}
+
+KSpectrum KSpectrum::from_codes(std::vector<seq::KmerCode> codes, int k,
+                                const SpectrumBuildOptions& options) {
+  return from_instances(std::move(codes), k, options);
 }
 
 KSpectrum KSpectrum::from_sorted_counts(std::vector<seq::KmerCode> codes,
                                         std::vector<std::uint32_t> counts,
-                                        int k) {
+                                        int k, int prefix_index_bits) {
   if (codes.size() != counts.size()) {
     throw std::invalid_argument("from_sorted_counts: size mismatch");
   }
@@ -38,13 +68,22 @@ KSpectrum KSpectrum::from_sorted_counts(std::vector<seq::KmerCode> codes,
     }
     s.total_ += s.counts_[i];
   }
+  s.rebuild_prefix_index(prefix_index_bits);
   return s;
 }
 
 KSpectrum KSpectrum::build(const seq::ReadSet& reads, int k,
-                           bool both_strands) {
+                           bool both_strands,
+                           const SpectrumBuildOptions& options) {
   std::vector<seq::KmerCode> instances;
-  instances.reserve(reads.total_bases() * (both_strands ? 2 : 1));
+  // Reserve the actual window count Σ max(0, len−k+1) per strand — the
+  // former total_bases()-based bound over-allocated by ~k bases per read,
+  // which dominates peak memory on short-read sets.
+  std::size_t windows = 0;
+  for (const auto& r : reads.reads) {
+    windows += seq::max_kmer_windows(r.bases.size(), k);
+  }
+  instances.reserve(windows * (both_strands ? 2 : 1));
   for (const auto& r : reads.reads) {
     seq::extract_kmer_codes(r.bases, k, instances);
     if (both_strands) {
@@ -52,24 +91,58 @@ KSpectrum KSpectrum::build(const seq::ReadSet& reads, int k,
       seq::extract_kmer_codes(rc, k, instances);
     }
   }
-  return from_codes(std::move(instances), k);
+  return from_instances(std::move(instances), k, options);
 }
 
 KSpectrum KSpectrum::build_from_sequence(std::string_view sequence, int k,
-                                         bool both_strands) {
+                                         bool both_strands,
+                                         const SpectrumBuildOptions& options) {
   std::vector<seq::KmerCode> instances;
+  instances.reserve(seq::max_kmer_windows(sequence.size(), k) *
+                    (both_strands ? 2 : 1));
   seq::extract_kmer_codes(sequence, k, instances);
   if (both_strands) {
     const std::string rc = seq::reverse_complement(std::string(sequence));
     seq::extract_kmer_codes(rc, k, instances);
   }
-  return from_codes(std::move(instances), k);
+  return from_instances(std::move(instances), k, options);
+}
+
+void KSpectrum::rebuild_prefix_index(int prefix_index_bits) {
+  const int bits = prefix_index_bits < 0
+                       ? auto_prefix_bits(codes_.size(), k_)
+                       : std::min({prefix_index_bits, 2 * k_, 24});
+  if (bits <= 0 || codes_.empty()) {
+    prefix_bits_ = 0;
+    bucket_starts_.clear();
+    bucket_starts_.shrink_to_fit();
+    return;
+  }
+  prefix_bits_ = bits;
+  const int shift = 2 * k_ - bits;
+  const std::size_t buckets = std::size_t{1} << bits;
+  bucket_starts_.assign(buckets + 1, 0);
+  for (const seq::KmerCode code : codes_) {
+    ++bucket_starts_[(code >> shift) + 1];
+  }
+  for (std::size_t b = 1; b <= buckets; ++b) {
+    bucket_starts_[b] += bucket_starts_[b - 1];
+  }
 }
 
 std::int64_t KSpectrum::index_of(seq::KmerCode code) const noexcept {
-  const auto it = std::lower_bound(codes_.begin(), codes_.end(), code);
-  if (it == codes_.end() || *it != code) return -1;
-  return static_cast<std::int64_t>(it - codes_.begin());
+  const seq::KmerCode* first = codes_.data();
+  const seq::KmerCode* last = first + codes_.size();
+  if (prefix_bits_ > 0) {
+    const std::size_t b =
+        static_cast<std::size_t>(code >> (2 * k_ - prefix_bits_));
+    if (b + 1 >= bucket_starts_.size()) return -1;  // key out of range
+    first = codes_.data() + bucket_starts_[b];
+    last = codes_.data() + bucket_starts_[b + 1];
+  }
+  const auto* it = std::lower_bound(first, last, code);
+  if (it == last || *it != code) return -1;
+  return static_cast<std::int64_t>(it - codes_.data());
 }
 
 }  // namespace ngs::kspec

@@ -5,6 +5,15 @@
 // sorted code array with parallel counts, so membership and count lookups
 // are binary searches and the structure is directly usable as the base
 // array of the masked-sort neighborhood index.
+//
+// Construction is radix-partitioned and parallel (see kspec/radix.hpp):
+// instances are sharded by their top prefix bits, buckets sort
+// concurrently, and the concatenation is byte-identical to the serial
+// sort for every thread count. The same prefix sharding is kept at query
+// time as a bucket-offset table, so index_of narrows to a within-bucket
+// binary search over a few cache lines instead of log2(|R^k|) scattered
+// probes — every corrector, eval::kmer_classification, and
+// assembly::debruijn inherit the speedup through contains()/count().
 
 #include <cstdint>
 #include <optional>
@@ -14,7 +23,28 @@
 #include "seq/kmer.hpp"
 #include "seq/read.hpp"
 
+namespace ngs::util {
+class ThreadPool;
+}
+
 namespace ngs::kspec {
+
+/// Controls for the parallel spectrum build and the lookup index.
+struct SpectrumBuildOptions {
+  /// 1 = the serial seed path (single std::sort in the calling thread,
+  /// kept as the benchmark baseline); 0 = the shared default pool; any
+  /// other value = a dedicated pool of that many workers for this build.
+  std::size_t threads = 0;
+  /// Radix partition width for construction (2^bits buckets); -1 = auto
+  /// from input size, 0 = a single bucket (plain sort).
+  int radix_bits = -1;
+  /// Prefix-bucket lookup index width; -1 = auto from spectrum size,
+  /// 0 = disable (index_of falls back to a full-range binary search).
+  int prefix_index_bits = -1;
+  /// Pool override for construction; supersedes `threads` unless
+  /// threads == 1 (serial stays serial).
+  util::ThreadPool* pool = nullptr;
+};
 
 class KSpectrum {
  public:
@@ -24,22 +54,25 @@ class KSpectrum {
   /// reverse complement contributes as well. Windows with ambiguous
   /// bases are skipped (callers convert N's beforehand if desired).
   static KSpectrum build(const seq::ReadSet& reads, int k,
-                         bool both_strands = true);
+                         bool both_strands = true,
+                         const SpectrumBuildOptions& options = {});
 
   /// Builds from a single long sequence (e.g. the reference genome, for
   /// ground-truth kmer classification).
   static KSpectrum build_from_sequence(std::string_view sequence, int k,
-                                       bool both_strands = false);
+                                       bool both_strands = false,
+                                       const SpectrumBuildOptions& options = {});
 
-  /// Builds from an explicit code multiset (used by tests).
-  static KSpectrum from_codes(std::vector<seq::KmerCode> codes, int k);
+  /// Builds from an explicit code multiset.
+  static KSpectrum from_codes(std::vector<seq::KmerCode> codes, int k,
+                              const SpectrumBuildOptions& options = {});
 
   /// Builds from pre-aggregated sorted (code, count) arrays (used by the
   /// bounded-memory ChunkedSpectrumBuilder). Codes must be strictly
   /// ascending; counts parallel and positive.
   static KSpectrum from_sorted_counts(std::vector<seq::KmerCode> codes,
                                       std::vector<std::uint32_t> counts,
-                                      int k);
+                                      int k, int prefix_index_bits = -1);
 
   int k() const noexcept { return k_; }
   std::size_t size() const noexcept { return codes_.size(); }
@@ -58,8 +91,23 @@ class KSpectrum {
     return i < 0 ? 0 : counts_[static_cast<std::size_t>(i)];
   }
 
-  /// Index of `code` in the sorted array, or -1.
+  /// Index of `code` in the sorted array, or -1. Uses the prefix-bucket
+  /// table when present; exact either way.
   std::int64_t index_of(seq::KmerCode code) const noexcept;
+
+  /// (Re)builds the prefix-bucket lookup table: 2^bits offsets into the
+  /// sorted array, one per top-bits key prefix. -1 = auto width from the
+  /// spectrum size, 0 = drop the index. Purely an accessor structure —
+  /// never changes lookup results.
+  void rebuild_prefix_index(int prefix_index_bits = -1);
+
+  /// Width of the active prefix index (0 = disabled).
+  int prefix_index_bits() const noexcept { return prefix_bits_; }
+
+  /// Bytes held by the prefix-bucket offset table.
+  std::size_t prefix_index_bytes() const noexcept {
+    return bucket_starts_.size() * sizeof(std::uint64_t);
+  }
 
   seq::KmerCode code_at(std::size_t i) const noexcept { return codes_[i]; }
   std::uint32_t count_at(std::size_t i) const noexcept { return counts_[i]; }
@@ -68,10 +116,15 @@ class KSpectrum {
   std::span<const std::uint32_t> counts() const noexcept { return counts_; }
 
  private:
+  static KSpectrum from_instances(std::vector<seq::KmerCode> instances, int k,
+                                  const SpectrumBuildOptions& options);
+
   int k_ = 0;
   std::uint64_t total_ = 0;
   std::vector<seq::KmerCode> codes_;    // sorted ascending, unique
   std::vector<std::uint32_t> counts_;   // parallel multiplicities
+  int prefix_bits_ = 0;                 // 0 = no prefix index
+  std::vector<std::uint64_t> bucket_starts_;  // 2^prefix_bits_ + 1 offsets
 };
 
 }  // namespace ngs::kspec

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace ngs::kspec {
 
 void CandidateEnumerator::for_each_neighbor(seq::KmerCode code, int d,
@@ -46,7 +48,8 @@ void for_each_subset(int c, int d,
 
 }  // namespace
 
-MaskedSortIndex::MaskedSortIndex(const KSpectrum& spectrum, int c, int d)
+MaskedSortIndex::MaskedSortIndex(const KSpectrum& spectrum, int c, int d,
+                                 util::ThreadPool* pool)
     : spectrum_(&spectrum), d_(d) {
   const int k = spectrum.k();
   if (!(d < c && c <= k)) {
@@ -63,12 +66,22 @@ MaskedSortIndex::MaskedSortIndex(const KSpectrum& spectrum, int c, int d)
     pos += len;
   }
 
+  // Materialize the replica masks first, then sort every replica's
+  // permutation concurrently — the C(c,d) sorts are independent and
+  // dominate construction time.
   for_each_subset(c, d, [&](const std::vector<int>& subset) {
     Replica rep;
     for (int j : subset) {
       rep.mask |= positions_mask(k, chunks[static_cast<std::size_t>(j)].first,
                                  chunks[static_cast<std::size_t>(j)].second);
     }
+    replicas_.push_back(std::move(rep));
+  });
+
+  util::ThreadPool& sort_pool =
+      pool != nullptr ? *pool : util::default_pool();
+  sort_pool.parallel_for(0, replicas_.size(), [&](std::size_t r) {
+    Replica& rep = replicas_[r];
     rep.order.resize(spectrum.size());
     for (std::size_t i = 0; i < spectrum.size(); ++i) {
       rep.order[i] = static_cast<std::uint32_t>(i);
@@ -76,10 +89,10 @@ MaskedSortIndex::MaskedSortIndex(const KSpectrum& spectrum, int c, int d)
     const seq::KmerCode keep = ~rep.mask;
     std::sort(rep.order.begin(), rep.order.end(),
               [&](std::uint32_t a, std::uint32_t b) {
-                return (spectrum.code_at(a) & keep) <
-                       (spectrum.code_at(b) & keep);
+                const seq::KmerCode ma = spectrum.code_at(a) & keep;
+                const seq::KmerCode mb = spectrum.code_at(b) & keep;
+                return ma != mb ? ma < mb : a < b;
               });
-    replicas_.push_back(std::move(rep));
   });
 }
 

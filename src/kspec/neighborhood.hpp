@@ -26,6 +26,10 @@
 #include "kspec/kspectrum.hpp"
 #include "seq/kmer.hpp"
 
+namespace ngs::util {
+class ThreadPool;
+}
+
 namespace ngs::kspec {
 
 /// Visitor receives (neighbor_code, spectrum_index).
@@ -51,8 +55,13 @@ class CandidateEnumerator {
 /// Strategy 2: masked-sort replicas (Sec. 2.3, steps a-c).
 class MaskedSortIndex {
  public:
-  /// Builds C(c,d) sorted replicas over the spectrum. Requires d < c <= k.
-  MaskedSortIndex(const KSpectrum& spectrum, int c, int d);
+  /// Builds C(c,d) sorted replicas over the spectrum, one pool task per
+  /// replica (they are independent permutations). Requires d < c <= k.
+  /// nullptr pool = the shared default pool. Replica contents are
+  /// deterministic regardless of thread count (ties in the masked key
+  /// break by spectrum index).
+  MaskedSortIndex(const KSpectrum& spectrum, int c, int d,
+                  util::ThreadPool* pool = nullptr);
 
   int d() const noexcept { return d_; }
   std::size_t num_replicas() const noexcept { return replicas_.size(); }

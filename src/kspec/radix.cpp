@@ -1,0 +1,168 @@
+#include "kspec/radix.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/thread_pool.hpp"
+
+namespace ngs::kspec {
+
+namespace {
+
+/// Shift that maps a code to its bucket: bucket = code >> shift. The key
+/// occupies the low 2k bits of the word, so the top `bits` of the key
+/// start at bit 2k - bits.
+inline int bucket_shift(int k, int bits) noexcept { return 2 * k - bits; }
+
+struct Partition {
+  std::vector<seq::KmerCode> sorted;    // bucket-major, each bucket sorted
+  std::vector<std::size_t> offsets;     // size 2^bits + 1
+};
+
+/// Stable two-pass counting partition by the top `bits` key bits, then
+/// per-bucket sorts on the pool. Buckets cover disjoint ascending key
+/// ranges, so `sorted` is globally sorted on return.
+Partition partition_and_sort(std::vector<seq::KmerCode>&& codes, int k,
+                             int bits, util::ThreadPool& pool) {
+  const std::size_t n = codes.size();
+  const std::size_t buckets = std::size_t{1} << bits;
+  const int shift = bucket_shift(k, bits);
+
+  // Pass 1: per-block histograms (blocks = contiguous input slices, one
+  // task each), so the scatter below needs no atomics.
+  const std::size_t num_blocks =
+      std::min<std::size_t>(std::max<std::size_t>(1, pool.size() * 4),
+                            std::max<std::size_t>(1, n / 4096));
+  const std::size_t block = (n + num_blocks - 1) / num_blocks;
+  std::vector<std::vector<std::size_t>> histograms(
+      num_blocks, std::vector<std::size_t>(buckets, 0));
+  pool.parallel_for(0, num_blocks, [&](std::size_t b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = std::min(n, lo + block);
+    auto& h = histograms[b];
+    for (std::size_t i = lo; i < hi; ++i) ++h[codes[i] >> shift];
+  });
+
+  // Exclusive prefix sums: offsets[bucket] plus each block's start within
+  // its bucket. Block-major order within a bucket keeps the partition
+  // stable (input order preserved), hence deterministic.
+  Partition part;
+  part.offsets.assign(buckets + 1, 0);
+  std::size_t running = 0;
+  for (std::size_t q = 0; q < buckets; ++q) {
+    part.offsets[q] = running;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      const std::size_t c = histograms[b][q];
+      histograms[b][q] = running;  // becomes this block's write cursor
+      running += c;
+    }
+  }
+  part.offsets[buckets] = running;
+
+  // Pass 2: scatter. Each block owns disjoint write cursors.
+  part.sorted.resize(n);
+  seq::KmerCode* out = part.sorted.data();
+  pool.parallel_for(0, num_blocks, [&](std::size_t b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = std::min(n, lo + block);
+    auto& cursors = histograms[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[cursors[codes[i] >> shift]++] = codes[i];
+    }
+  });
+  codes.clear();
+  codes.shrink_to_fit();
+
+  // Per-bucket sorts; each bucket is small enough to be cache-friendly.
+  pool.parallel_for(0, buckets, [&](std::size_t q) {
+    std::sort(out + part.offsets[q], out + part.offsets[q + 1]);
+  });
+  return part;
+}
+
+}  // namespace
+
+int choose_radix_bits(std::size_t n, int k) noexcept {
+  if (n < 8192) return 0;
+  // Aim for ~8k codes per bucket; clamp to [4, 14] and to the key width
+  // so the per-block histograms (2^bits words each) stay cheap.
+  const int target = std::bit_width(n / 8192);
+  return std::clamp(target, 4, std::min(2 * k, 14));
+}
+
+void radix_sort_codes(std::vector<seq::KmerCode>& codes, int k,
+                      const RadixSortOptions& options) {
+  const int bits = options.radix_bits < 0
+                       ? choose_radix_bits(codes.size(), k)
+                       : std::min(options.radix_bits, 2 * k);
+  if (bits <= 0 || codes.size() < 2) {
+    std::sort(codes.begin(), codes.end());
+    return;
+  }
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::default_pool();
+  Partition part = partition_and_sort(std::move(codes), k, bits, pool);
+  codes = std::move(part.sorted);
+}
+
+void serial_sort_and_count(std::vector<seq::KmerCode>&& codes,
+                           std::vector<seq::KmerCode>& out_codes,
+                           std::vector<std::uint32_t>& out_counts) {
+  std::sort(codes.begin(), codes.end());
+  out_codes.clear();
+  out_counts.clear();
+  for (std::size_t i = 0; i < codes.size();) {
+    std::size_t j = i;
+    while (j < codes.size() && codes[j] == codes[i]) ++j;
+    out_codes.push_back(codes[i]);
+    out_counts.push_back(static_cast<std::uint32_t>(j - i));
+    i = j;
+  }
+}
+
+void radix_sort_and_count(std::vector<seq::KmerCode>&& codes, int k,
+                          std::vector<seq::KmerCode>& out_codes,
+                          std::vector<std::uint32_t>& out_counts,
+                          const RadixSortOptions& options) {
+  const int bits = options.radix_bits < 0
+                       ? choose_radix_bits(codes.size(), k)
+                       : std::min(options.radix_bits, 2 * k);
+  if (bits <= 0) {
+    serial_sort_and_count(std::move(codes), out_codes, out_counts);
+    return;
+  }
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::default_pool();
+  const Partition part = partition_and_sort(std::move(codes), k, bits, pool);
+  const std::size_t buckets = part.offsets.size() - 1;
+  const seq::KmerCode* sorted = part.sorted.data();
+
+  // Aggregate per bucket: count distinct runs, prefix-sum into output
+  // offsets, then run-length encode each bucket straight into its slice.
+  // A run never crosses a bucket boundary (equal codes share a prefix).
+  std::vector<std::size_t> distinct(buckets + 1, 0);
+  pool.parallel_for(0, buckets, [&](std::size_t q) {
+    std::size_t runs = 0;
+    for (std::size_t i = part.offsets[q]; i < part.offsets[q + 1]; ++i) {
+      runs += (i == part.offsets[q] || sorted[i] != sorted[i - 1]);
+    }
+    distinct[q + 1] = runs;
+  });
+  for (std::size_t q = 0; q < buckets; ++q) distinct[q + 1] += distinct[q];
+
+  out_codes.resize(distinct[buckets]);
+  out_counts.resize(distinct[buckets]);
+  pool.parallel_for(0, buckets, [&](std::size_t q) {
+    std::size_t w = distinct[q];
+    for (std::size_t i = part.offsets[q]; i < part.offsets[q + 1];) {
+      std::size_t j = i;
+      while (j < part.offsets[q + 1] && sorted[j] == sorted[i]) ++j;
+      out_codes[w] = sorted[i];
+      out_counts[w] = static_cast<std::uint32_t>(j - i);
+      ++w;
+      i = j;
+    }
+  });
+}
+
+}  // namespace ngs::kspec

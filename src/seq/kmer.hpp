@@ -74,6 +74,15 @@ constexpr KmerCode concat_kmers(KmerCode a, int /*k1*/, KmerCode b, int k2,
                               : ((KmerCode{1} << (2 * (k2 - l))) - 1)));
 }
 
+/// Number of k-length windows of a sequence of length `len` (0 when the
+/// sequence is shorter than k). Upper-bounds the kmer instances a strand
+/// can contribute — windows with ambiguous bases are skipped on
+/// extraction — so spectrum builders use it to size buffers tightly
+/// instead of over-reserving by total bases.
+constexpr std::size_t max_kmer_windows(std::size_t len, int k) noexcept {
+  return len >= static_cast<std::size_t>(k) ? len - static_cast<std::size_t>(k) + 1 : 0;
+}
+
 /// Rolling extraction of all k-mers of s. Windows containing ambiguous
 /// characters are skipped. Appends (code, position) pairs.
 void extract_kmers(std::string_view s, int k,

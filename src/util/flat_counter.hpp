@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 namespace ngs::util {
@@ -25,24 +26,32 @@ class FlatCounter {
       sentinel_used_ = true;
       return;
     }
-    if ((size_ + 1) * 2 > slots_.size()) grow();
-    Slot& s = find_slot(key);
-    if (s.key == kEmpty) {
-      s.key = key;
+    Slot* s = &find_slot(key);
+    if (s->key == kEmpty) {
+      // Only a genuine insert can push the load factor over 1/2 —
+      // updates to existing keys never rehash.
+      if ((size_ + 1) * 2 > slots_.size()) {
+        grow();
+        s = &find_slot(key);
+      }
+      s->key = key;
       ++size_;
     }
-    s.count += delta;
+    s->count += delta;
   }
 
   std::uint32_t count(std::uint64_t key) const {
     if (key == kEmpty) return sentinel_used_ ? sentinel_count_ : 0;
-    const Slot& s = const_cast<FlatCounter*>(this)->find_slot(key);
+    const Slot& s = find_slot(key);
     return s.key == kEmpty ? 0 : s.count;
   }
 
   std::size_t distinct() const noexcept {
     return size_ + (sentinel_used_ ? 1 : 0);
   }
+
+  /// Current slot-array size (for load-factor telemetry and tests).
+  std::size_t capacity() const noexcept { return slots_.size(); }
 
   /// Visits every (key, count) pair in unspecified order.
   void for_each(const std::function<void(std::uint64_t, std::uint32_t)>& fn)
@@ -70,12 +79,16 @@ class FlatCounter {
     return x;
   }
 
-  Slot& find_slot(std::uint64_t key) {
+  const Slot& find_slot(std::uint64_t key) const {
     std::size_t i = mix(key) & mask_;
     while (slots_[i].key != kEmpty && slots_[i].key != key) {
       i = (i + 1) & mask_;
     }
     return slots_[i];
+  }
+
+  Slot& find_slot(std::uint64_t key) {
+    return const_cast<Slot&>(std::as_const(*this).find_slot(key));
   }
 
   void grow() {

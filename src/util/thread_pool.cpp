@@ -5,6 +5,12 @@
 
 namespace ngs::util {
 
+namespace {
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker_thread; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -25,6 +31,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_on_worker_thread = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -53,6 +60,10 @@ void ThreadPool::parallel_for_blocked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
+  if (on_worker_thread()) {
+    fn(begin, end);
+    return;
+  }
   const std::size_t n = end - begin;
   const std::size_t num_blocks =
       std::min<std::size_t>(n, std::max<std::size_t>(1, size() * 3));
@@ -63,7 +74,20 @@ void ThreadPool::parallel_for_blocked(
     const std::size_t hi = std::min(end, lo + block);
     futures.push_back(submit([&fn, lo, hi] { fn(lo, hi); }));
   }
-  for (auto& f : futures) f.get();  // get() rethrows the first exception
+  // Drain every future before rethrowing: tasks capture `fn` (often a
+  // temporary in the caller) by reference, so propagating the first
+  // exception while later tasks are still queued would leave them
+  // running against destroyed caller state (use-after-free caught by
+  // the TSan smoke target). First exception in block order wins.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& default_pool() {

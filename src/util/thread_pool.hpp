@@ -51,9 +51,17 @@ class ThreadPool {
 
   /// Run fn(block_begin, block_end) over contiguous blocks. Useful when
   /// the body wants per-block scratch state.
+  ///
+  /// Safe to call from inside a pool task: nested invocations run the
+  /// range inline on the calling worker instead of re-submitting (a
+  /// nested submit-and-wait could deadlock once every worker blocks on
+  /// futures only other workers could run).
   void parallel_for_blocked(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// True when the calling thread is a worker of any ThreadPool.
+  static bool on_worker_thread() noexcept;
 
  private:
   void worker_loop();

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "io/fastx.hpp"
@@ -10,6 +11,7 @@
 #include "sim/genome.hpp"
 #include "sim/read_sim.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -42,6 +44,28 @@ TEST(ChunkedBuilder, MatchesMonolithicBuild) {
       ASSERT_EQ(chunked.code_at(i), reference.code_at(i));
       ASSERT_EQ(chunked.count_at(i), reference.count_at(i));
     }
+  }
+}
+
+TEST(ChunkedBuilder, ByteIdenticalAcrossPoolSizes) {
+  const auto run = make_run(9);
+  kspec::SpectrumBuildOptions serial;
+  serial.threads = 1;
+  const auto reference = kspec::KSpectrum::build(run.reads, 13, true, serial);
+
+  for (const std::size_t threads : {1ul, 2ul, 4ul}) {
+    util::ThreadPool pool(threads);
+    kspec::ChunkedSpectrumBuilder builder(13, true, 4096, &pool);
+    builder.add_reads(run.reads);
+    const auto chunked = builder.finish();
+    ASSERT_EQ(chunked.size(), reference.size()) << "threads=" << threads;
+    ASSERT_EQ(chunked.total_instances(), reference.total_instances());
+    ASSERT_TRUE(std::equal(chunked.codes().begin(), chunked.codes().end(),
+                           reference.codes().begin(),
+                           reference.codes().end()));
+    ASSERT_TRUE(std::equal(chunked.counts().begin(), chunked.counts().end(),
+                           reference.counts().begin(),
+                           reference.counts().end()));
   }
 }
 

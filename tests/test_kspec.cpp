@@ -6,9 +6,12 @@
 #include "kspec/hamming_graph.hpp"
 #include "kspec/kspectrum.hpp"
 #include "kspec/neighborhood.hpp"
+#include "kspec/radix.hpp"
 #include "kspec/tile_table.hpp"
 #include "sim/genome.hpp"
+#include "sim/read_sim.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -52,6 +55,134 @@ TEST(KSpectrum, SortedAndIndexable) {
   for (std::size_t i = 0; i < spec.size(); i += 97) {
     EXPECT_EQ(spec.index_of(spec.code_at(i)), static_cast<std::int64_t>(i));
   }
+}
+
+seq::ReadSet simulated_reads(std::uint64_t seed, std::size_t genome_len) {
+  util::Rng rng(seed);
+  sim::GenomeSpec gspec;
+  gspec.length = genome_len;
+  const auto genome = sim::simulate_genome(gspec, rng);
+  const auto model = sim::ErrorModel::illumina(36, 0.02);
+  sim::ReadSimConfig cfg;
+  cfg.read_length = 36;
+  cfg.coverage = 20.0;
+  return sim::simulate_reads(genome.sequence, model, cfg, rng).reads;
+}
+
+void expect_byte_identical(const KSpectrum& a, const KSpectrum& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.total_instances(), b.total_instances());
+  ASSERT_TRUE(std::equal(a.codes().begin(), a.codes().end(),
+                         b.codes().begin(), b.codes().end()));
+  ASSERT_TRUE(std::equal(a.counts().begin(), a.counts().end(),
+                         b.counts().begin(), b.counts().end()));
+}
+
+TEST(RadixBuild, ByteIdenticalToSerialAcrossThreadCounts) {
+  const auto reads = simulated_reads(11, 15000);
+  for (const bool both : {false, true}) {
+    kspec::SpectrumBuildOptions serial;
+    serial.threads = 1;
+    const auto reference = KSpectrum::build(reads, 13, both, serial);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{3},
+                                      std::size_t{8}}) {
+      for (const int radix_bits : {-1, 0, 3, 8}) {
+        kspec::SpectrumBuildOptions opts;
+        opts.threads = threads;
+        opts.radix_bits = radix_bits;
+        const auto parallel = KSpectrum::build(reads, 13, both, opts);
+        SCOPED_TRACE(::testing::Message()
+                     << "threads=" << threads << " radix_bits=" << radix_bits
+                     << " both=" << both);
+        expect_byte_identical(parallel, reference);
+      }
+    }
+  }
+}
+
+TEST(RadixBuild, DegenerateInputs) {
+  kspec::SpectrumBuildOptions parallel;
+  parallel.threads = 4;
+  parallel.radix_bits = 6;
+
+  seq::ReadSet empty;
+  expect_byte_identical(KSpectrum::build(empty, 13, true, parallel),
+                        KSpectrum::build(empty, 13, true, {.threads = 1}));
+
+  seq::ReadSet short_read;  // shorter than k: zero windows
+  short_read.reads.push_back({"s", "ACGT", {}});
+  const auto spec = KSpectrum::build(short_read, 13, true, parallel);
+  EXPECT_TRUE(spec.empty());
+  EXPECT_EQ(spec.total_instances(), 0u);
+
+  seq::ReadSet one;
+  one.reads.push_back({"a", "ACGTACGTACGTACGT", {}});
+  expect_byte_identical(KSpectrum::build(one, 13, true, parallel),
+                        KSpectrum::build(one, 13, true, {.threads = 1}));
+
+  seq::ReadSet dup;  // every instance identical: a single fat bucket
+  for (int i = 0; i < 64; ++i) dup.reads.push_back({"d", "AAAAAAAAAAAAA", {}});
+  const auto dups = KSpectrum::build(dup, 13, false, parallel);
+  ASSERT_EQ(dups.size(), 1u);
+  EXPECT_EQ(dups.count_at(0), 64u);
+  expect_byte_identical(dups, KSpectrum::build(dup, 13, false, {.threads = 1}));
+}
+
+TEST(RadixBuild, ExternalPoolAndSortOnlyEntryPoint) {
+  util::ThreadPool pool(3);
+  util::Rng rng(99);
+  std::vector<seq::KmerCode> codes;
+  const seq::KmerCode mask = (seq::KmerCode{1} << 26) - 1;
+  for (int i = 0; i < 50000; ++i) codes.push_back(rng() & mask);
+  auto expected = codes;
+  std::sort(expected.begin(), expected.end());
+
+  kspec::RadixSortOptions opts;
+  opts.pool = &pool;
+  for (const int bits : {-1, 0, 5, 11}) {
+    auto sorted = codes;
+    opts.radix_bits = bits;
+    kspec::radix_sort_codes(sorted, 13, opts);
+    ASSERT_EQ(sorted, expected) << "radix_bits=" << bits;
+  }
+}
+
+TEST(PrefixIndex, AgreesWithPlainLowerBound) {
+  const auto reads = simulated_reads(23, 20000);
+  auto spec = KSpectrum::build(reads, 13, true);
+  ASSERT_GT(spec.prefix_index_bits(), 0);  // auto index kicks in
+
+  util::Rng rng(7);
+  const seq::KmerCode mask = (seq::KmerCode{1} << 26) - 1;
+  std::vector<seq::KmerCode> queries;
+  for (std::size_t i = 0; i < spec.size(); i += 37) {
+    queries.push_back(spec.code_at(i));  // guaranteed hits
+  }
+  for (int i = 0; i < 2000; ++i) queries.push_back(rng() & mask);  // misses too
+
+  const auto codes = spec.codes();
+  auto plain_index_of = [&](seq::KmerCode code) -> std::int64_t {
+    const auto it = std::lower_bound(codes.begin(), codes.end(), code);
+    if (it == codes.end() || *it != code) return -1;
+    return static_cast<std::int64_t>(it - codes.begin());
+  };
+
+  for (const int bits : {-1, 0, 1, 4, 10, 16}) {
+    spec.rebuild_prefix_index(bits);
+    for (const auto q : queries) {
+      ASSERT_EQ(spec.index_of(q), plain_index_of(q))
+          << "bits=" << bits << " query=" << q;
+    }
+  }
+}
+
+TEST(PrefixIndex, DisabledIndexReportsZeroWidth) {
+  const auto spec = KSpectrum::from_codes(
+      {seq::encode_kmer("ACGT").value(), seq::encode_kmer("TTTT").value()}, 4);
+  // Tiny spectrum: the auto heuristic leaves the index off.
+  EXPECT_EQ(spec.prefix_index_bits(), 0);
+  EXPECT_EQ(spec.prefix_index_bytes(), 0u);
+  EXPECT_TRUE(spec.contains(seq::encode_kmer("TTTT").value()));
 }
 
 TEST(Neighborhood, EnumeratorFindsPlantedNeighbors) {

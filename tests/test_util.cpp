@@ -6,6 +6,7 @@
 #include <sstream>
 #include <thread>
 
+#include "util/flat_counter.hpp"
 #include "util/memory.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -267,6 +268,41 @@ TEST(StageTimes, AccumulatesInOrder) {
 TEST(Memory, ReportsPositiveRss) {
   EXPECT_GT(ngs::util::peak_rss_bytes(), 0u);
   EXPECT_GT(ngs::util::current_rss_bytes(), 0u);
+}
+
+TEST(FlatCounter, CountsAndSentinel) {
+  ngs::util::FlatCounter c;
+  c.add(5);
+  c.add(5, 3);
+  c.add(~std::uint64_t{0});  // the empty-slot sentinel key
+  EXPECT_EQ(c.count(5), 4u);
+  EXPECT_EQ(c.count(6), 0u);
+  EXPECT_EQ(c.count(~std::uint64_t{0}), 1u);
+  EXPECT_EQ(c.distinct(), 2u);
+}
+
+TEST(FlatCounter, UpdatesToExistingKeysNeverRehash) {
+  // expected_keys=8 -> 16 slots; 8 inserts sit exactly at the load-factor
+  // boundary, where the old pre-check grew the table on the next add()
+  // even when that add only bumped an existing key.
+  ngs::util::FlatCounter c(8);
+  ASSERT_EQ(c.capacity(), 16u);
+  for (std::uint64_t key = 0; key < 8; ++key) c.add(key);
+  ASSERT_EQ(c.capacity(), 16u);
+  for (int i = 0; i < 100; ++i) c.add(3);
+  EXPECT_EQ(c.capacity(), 16u) << "update to an existing key rehashed";
+  EXPECT_EQ(c.count(3), 101u);
+  // A genuinely new key at the boundary still grows.
+  c.add(999);
+  EXPECT_EQ(c.capacity(), 32u);
+  for (std::uint64_t key = 0; key < 8; ++key) EXPECT_EQ(c.count(key), key == 3 ? 101u : 1u);
+  EXPECT_EQ(c.count(999), 1u);
+}
+
+TEST(FlatCounter, ConstLookupOnColdKeys) {
+  const ngs::util::FlatCounter c(4);
+  EXPECT_EQ(c.count(123), 0u);
+  EXPECT_EQ(c.distinct(), 0u);
 }
 
 }  // namespace

@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
                  "0.01");
   cli.add_option("threads", "correction worker threads (0 = all cores)", true,
                  "0");
+  cli.add_option("spectrum-threads",
+                 "pass-1 spectrum build threads (0 = share correction pool)",
+                 true, "0");
   cli.add_option("batch-size", "reads per streamed batch", true, "4096");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage();
@@ -72,6 +75,8 @@ int main(int argc, char** argv) {
 
   core::PipelineOptions options;
   options.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  options.spectrum_threads =
+      static_cast<std::size_t>(cli.get_int("spectrum-threads", 0));
   options.batch_size =
       static_cast<std::size_t>(cli.get_int("batch-size", 4096));
   core::CorrectionPipeline pipeline(std::move(corrector), options);
