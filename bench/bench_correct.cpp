@@ -1,0 +1,198 @@
+// End-to-end pass-2 correction throughput on the Table 2.1 D3 workload:
+// Reptile phase 2 (the CorrectionPipeline hot path since PR 2 made
+// phase 1 parallel) with the shared tile-decision cache on and off, at
+// 1/2/4/8 worker threads, verifying that every configuration produces
+// output byte-identical to the uncached single-thread reference. Emits
+// BENCH_correct.json (path overridable via NGS_BENCH_JSON) so the pass-2
+// perf trajectory is recorded alongside BENCH_spectrum.json.
+
+#include "bench_common.hpp"
+
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "reptile/corrector.hpp"
+#include "reptile/params.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace ngs;
+
+namespace {
+
+/// Best-of-n wall time of fn().
+template <typename F>
+double best_seconds(int n, F&& fn) {
+  double best = 1e30;
+  for (int i = 0; i < n; ++i) {
+    util::Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+bool identical(const std::vector<seq::Read>& a,
+               const std::vector<seq::Read>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].bases != b[i].bases) return false;
+  }
+  return true;
+}
+
+/// One pass-2 run: every read corrected on `pool` with per-block scratch
+/// and the supplied (possibly null) shared cache.
+std::vector<seq::Read> run_pass2(const reptile::ReptileCorrector& corrector,
+                                 const seq::ReadSet& reads,
+                                 util::ThreadPool& pool,
+                                 reptile::TileDecisionCache* cache) {
+  std::vector<seq::Read> out(reads.size());
+  pool.parallel_for_blocked(
+      0, reads.size(), [&](std::size_t lo, std::size_t hi) {
+        reptile::CorrectionStats stats;
+        reptile::ReptileCorrector::Scratch scratch;
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = corrector.correct(reads.reads[i], stats, scratch, cache);
+        }
+      });
+  return out;
+}
+
+struct Row {
+  std::size_t threads = 0;
+  bool cached = false;
+  double seconds = 0.0;
+  double reads_per_sec = 0.0;
+  double hit_rate = 0.0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main() {
+  const double scale = bench::scale_or(1.0);
+  constexpr int kRepeats = 2;
+  bench::print_header(
+      "Pass-2 correction throughput (Table 2.1 D3-scale)",
+      "Reptile tile correction with the shared tile-decision cache on/off; "
+      "outputs checked byte-identical to the uncached 1-thread reference.");
+
+  const auto specs = sim::chapter2_specs(scale);
+  const auto& d3_spec = specs.at(2);  // D3
+  const auto d3 = sim::make_dataset(d3_spec, 42);
+  const auto& reads = d3.sim.reads;
+
+  auto params = reptile::select_parameters(reads, d3_spec.genome.length);
+  util::Timer build_timer;
+  const reptile::ReptileCorrector corrector(reads, params);
+  const double build_s = build_timer.seconds();
+  std::cout << "dataset=" << d3_spec.name << " (" << d3_spec.genome_label
+            << "), reads=" << reads.size() << ", bases=" << reads.total_bases()
+            << ", k=" << params.k << ", tile=" << params.tile_length()
+            << "bp, phase-1 build " << util::Table::fixed(build_s, 2)
+            << "s, hardware_threads=" << std::thread::hardware_concurrency()
+            << "\n\n";
+
+  // Reference: uncached, single worker.
+  util::ThreadPool ref_pool(1);
+  std::vector<seq::Read> reference;
+  const double uncached_1t_s = best_seconds(kRepeats, [&] {
+    reference = run_pass2(corrector, reads, ref_pool, nullptr);
+  });
+
+  const auto nreads = static_cast<double>(reads.size());
+  std::vector<Row> rows;
+  rows.push_back({1, false, uncached_1t_s, nreads / uncached_1t_s, 0.0, true});
+
+  util::Table table({"Threads", "Cache", "Pass 2 (s)", "Reads/s",
+                     "Speedup vs uncached 1t", "Hit rate", "Identical"});
+  table.add_row({"1", "off", util::Table::fixed(uncached_1t_s, 3),
+                 util::Table::num(static_cast<std::uint64_t>(
+                     nreads / uncached_1t_s)),
+                 "1.00x", "-", "-"});
+
+  for (const std::size_t threads : {1ul, 2ul, 4ul, 8ul}) {
+    util::ThreadPool pool(threads);
+    for (const bool cached : {false, true}) {
+      if (!cached && threads == 1) continue;  // the reference row above
+      std::vector<seq::Read> out;
+      double hit_rate = 0.0;
+      const double s = best_seconds(kRepeats, [&] {
+        // Fresh cache per repetition: timing must include the miss-and-
+        // fill phase, not reuse a previous repetition's warm entries.
+        if (cached) {
+          reptile::TileDecisionCache cache(reptile::kDefaultTileCacheBytes);
+          out = run_pass2(corrector, reads, pool, &cache);
+          hit_rate = cache.stats().hit_rate();
+        } else {
+          out = run_pass2(corrector, reads, pool, nullptr);
+        }
+      });
+      Row row;
+      row.threads = threads;
+      row.cached = cached;
+      row.seconds = s;
+      row.reads_per_sec = nreads / s;
+      row.hit_rate = hit_rate;
+      row.identical = identical(out, reference);
+      rows.push_back(row);
+      table.add_row(
+          {std::to_string(threads), cached ? "on" : "off",
+           util::Table::fixed(s, 3),
+           util::Table::num(static_cast<std::uint64_t>(row.reads_per_sec)),
+           util::Table::fixed(uncached_1t_s / s, 2) + "x",
+           cached ? util::Table::percent(hit_rate) : "-",
+           row.identical ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+
+  double cached_1t_s = 0.0;
+  bool all_identical = true;
+  for (const auto& r : rows) {
+    if (r.threads == 1 && r.cached) cached_1t_s = r.seconds;
+    all_identical = all_identical && r.identical;
+  }
+  std::cout << "\nsingle-thread cache speedup: "
+            << util::Table::fixed(uncached_1t_s / cached_1t_s, 2)
+            << "x, outputs " << (all_identical ? "all identical" : "DIVERGED")
+            << ", peak rss " << bench::mem_gb() << " GiB\n";
+
+  // --- JSON record. ---
+  const char* json_path = std::getenv("NGS_BENCH_JSON");
+  const char* out_path =
+      json_path != nullptr ? json_path : "BENCH_correct.json";
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"bench\": \"correct\",\n"
+       << "  \"method\": \"reptile\",\n"
+       << "  \"dataset\": \"" << d3_spec.name << "\",\n"
+       << "  \"scale\": " << scale << ",\n"
+       << "  \"reads\": " << reads.size() << ",\n"
+       << "  \"bases\": " << reads.total_bases() << ",\n"
+       << "  \"k\": " << params.k << ",\n"
+       << "  \"tile_length\": " << params.tile_length() << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"phase1_build_s\": " << build_s << ",\n"
+       << "  \"uncached_1t_s\": " << uncached_1t_s << ",\n"
+       << "  \"cached_speedup_1t\": " << uncached_1t_s / cached_1t_s << ",\n"
+       << "  \"all_outputs_identical\": " << (all_identical ? "true" : "false")
+       << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << "    {\"threads\": " << r.threads
+         << ", \"cache\": " << (r.cached ? "true" : "false")
+         << ", \"seconds\": " << r.seconds
+         << ", \"reads_per_sec\": " << r.reads_per_sec
+         << ", \"hit_rate\": " << r.hit_rate
+         << ", \"byte_identical\": " << (r.identical ? "true" : "false")
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n"
+       << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return all_identical ? 0 : 1;
+}

@@ -41,6 +41,12 @@ InputSummary summarize(const seq::ReadSet& reads) {
   return summary;
 }
 
+/// Per-worker scratch for the Reptile adapter: the corrector's option /
+/// candidate / sweep buffers, reused across every batch a worker runs.
+struct ReptileScratch final : BatchScratch {
+  reptile::ReptileCorrector::Scratch scratch;
+};
+
 class ReptileAdapter final : public Corrector {
  public:
   explicit ReptileAdapter(const CorrectorConfig& config) : config_(config) {}
@@ -51,17 +57,32 @@ class ReptileAdapter final : public Corrector {
     auto params = reptile::select_parameters(reads, config_.genome_length);
     if (config_.k > 0) params.k = config_.k;
     corrector_.emplace(reads, params);
+    // One concurrent tile-decision memo shared by every correction
+    // worker: at coverage c each erroneous tile is decided once and
+    // reused ~c times. Decisions are pure functions of the tile code, so
+    // sharing across threads cannot change output.
+    if (config_.tile_cache_mb > 0 && corrector_->cacheable()) {
+      cache_ = std::make_unique<reptile::TileDecisionCache>(
+          config_.tile_cache_mb << 20);
+    }
     mark_ready();
   }
 
+  std::unique_ptr<BatchScratch> make_scratch() const override {
+    return std::make_unique<ReptileScratch>();
+  }
+
   void correct_batch(std::span<const seq::Read> in,
-                     std::vector<seq::Read>& out,
-                     CorrectionReport& report) const override {
+                     std::vector<seq::Read>& out, CorrectionReport& report,
+                     BatchScratch* scratch) const override {
     require_ready();
+    ReptileScratch local_scratch;
+    auto* rs = dynamic_cast<ReptileScratch*>(scratch);
+    if (rs == nullptr) rs = &local_scratch;
     reptile::CorrectionStats stats;
-    reptile::TileOutcomeCache cache;
     for (const auto& read : in) {
-      auto corrected = corrector_->correct(read, stats, &cache);
+      auto corrected =
+          corrector_->correct(read, stats, rs->scratch, cache_.get());
       tally_read(read, corrected, report);
       out.push_back(std::move(corrected));
     }
@@ -71,9 +92,19 @@ class ReptileAdapter final : public Corrector {
     report.bump("ambiguous_converted", stats.ambiguous_converted);
   }
 
+  void annotate_report(CorrectionReport& report) const override {
+    if (!cache_) return;
+    const auto stats = cache_->stats();
+    report.bump("tile_cache_hits", stats.hits);
+    report.bump("tile_cache_misses", stats.misses);
+    report.bump("tile_cache_evictions", stats.evictions);
+  }
+
  private:
   CorrectorConfig config_;
   std::optional<reptile::ReptileCorrector> corrector_;
+  /// Thread-safe (lock-striped); mutated during const correct_batch.
+  std::unique_ptr<reptile::TileDecisionCache> cache_;
 };
 
 class SapAdapter final : public Corrector {
@@ -100,8 +131,8 @@ class SapAdapter final : public Corrector {
   }
 
   void correct_batch(std::span<const seq::Read> in,
-                     std::vector<seq::Read>& out,
-                     CorrectionReport& report) const override {
+                     std::vector<seq::Read>& out, CorrectionReport& report,
+                     BatchScratch* /*scratch*/) const override {
     require_ready();
     baselines::SapStats stats;
     for (const auto& read : in) {
@@ -140,8 +171,8 @@ class HitecAdapter final : public Corrector {
   }
 
   void correct_batch(std::span<const seq::Read> in,
-                     std::vector<seq::Read>& out,
-                     CorrectionReport& report) const override {
+                     std::vector<seq::Read>& out, CorrectionReport& report,
+                     BatchScratch* /*scratch*/) const override {
     require_ready();
     baselines::HitecStats stats;
     for (const auto& read : in) {
@@ -178,8 +209,8 @@ class RedeemAdapter final : public Corrector {
   }
 
   void correct_batch(std::span<const seq::Read> in,
-                     std::vector<seq::Read>& out,
-                     CorrectionReport& report) const override {
+                     std::vector<seq::Read>& out, CorrectionReport& report,
+                     BatchScratch* /*scratch*/) const override {
     require_ready();
     redeem::RedeemCorrectionStats stats;
     for (const auto& read : in) {

@@ -68,10 +68,13 @@ void Corrector::build_from_spectrum(kspec::KSpectrum /*spectrum*/,
 
 void Corrector::correct_batch(std::span<const seq::Read> /*in*/,
                               std::vector<seq::Read>& /*out*/,
-                              CorrectionReport& /*report*/) const {
+                              CorrectionReport& /*report*/,
+                              BatchScratch* /*scratch*/) const {
   throw std::logic_error(std::string(method()) +
                          ": whole-set method has no batch correction");
 }
+
+void Corrector::annotate_report(CorrectionReport& /*report*/) const {}
 
 std::vector<seq::Read> Corrector::correct_all(const seq::ReadSet& reads,
                                               CorrectionReport& report) const {
@@ -83,7 +86,9 @@ std::vector<seq::Read> Corrector::correct_all(const seq::ReadSet& reads,
         CorrectionReport local;
         std::vector<seq::Read> block;
         block.reserve(hi - lo);
-        correct_batch({reads.reads.data() + lo, hi - lo}, block, local);
+        const auto scratch = make_scratch();
+        correct_batch({reads.reads.data() + lo, hi - lo}, block, local,
+                      scratch.get());
         for (std::size_t i = 0; i < block.size(); ++i) {
           out[lo + i] = std::move(block[i]);
         }

@@ -18,6 +18,7 @@
 // method shares plus ordered key/value extras for method-specific stats.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -73,6 +74,21 @@ struct CorrectorConfig {
   /// Exact error model the reads were generated with (benches pass the
   /// simulator's model); overrides error_rate.
   std::optional<sim::ErrorModel> error_model;
+  /// Byte budget (MiB) for the shared pass-2 tile-decision memo cache
+  /// (Reptile-family adapters; see util::ShardedCache). 0 disables
+  /// memoization — output is byte-identical either way.
+  std::size_t tile_cache_mb = 32;
+};
+
+/// Opaque per-worker phase-2 scratch. A correction worker obtains one
+/// from Corrector::make_scratch() and passes it back to every
+/// correct_batch call it issues; methods with per-read temporaries
+/// (Reptile's option/candidate buffers) then reuse them across the
+/// worker's whole run instead of reallocating per batch. A scratch
+/// object must never be shared between concurrent callers.
+class BatchScratch {
+ public:
+  virtual ~BatchScratch() = default;
 };
 
 /// What the pipeline learns about the input while streaming pass 1; the
@@ -125,13 +141,34 @@ class Corrector {
   /// calls correct_all exactly once.
   virtual bool supports_batches() const noexcept { return true; }
 
+  /// Per-worker scratch factory; nullptr when the method keeps no
+  /// reusable per-worker state.
+  virtual std::unique_ptr<BatchScratch> make_scratch() const {
+    return nullptr;
+  }
+
   /// Phase 2 over one batch: appends one corrected read per input read
   /// to `out`, in order, accumulating into a caller-local report.
   /// Thread-safe after build() for batch-supporting methods; the default
-  /// throws std::logic_error for whole-set methods.
+  /// throws std::logic_error for whole-set methods. `scratch` is a
+  /// per-worker object from make_scratch() of the same corrector (or
+  /// nullptr: the method falls back to call-local temporaries).
   virtual void correct_batch(std::span<const seq::Read> in,
                              std::vector<seq::Read>& out,
-                             CorrectionReport& report) const;
+                             CorrectionReport& report,
+                             BatchScratch* scratch) const;
+
+  /// Convenience overload with call-local scratch.
+  void correct_batch(std::span<const seq::Read> in,
+                     std::vector<seq::Read>& out,
+                     CorrectionReport& report) const {
+    correct_batch(in, out, report, nullptr);
+  }
+
+  /// Appends run-level observability extras (e.g. tile_cache_hits /
+  /// tile_cache_misses) to `report`. The pipeline calls this exactly
+  /// once, after phase 2 completes; the default adds nothing.
+  virtual void annotate_report(CorrectionReport& report) const;
 
   /// Phase 2 over the whole set. The default parallelizes correct_batch
   /// over the shared thread pool (order-preserving, reports merged);

@@ -12,6 +12,7 @@
 #include "kspec/chunked_builder.hpp"
 #include "util/memory.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace ngs::core {
 
@@ -85,7 +86,9 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
     while (reader.read_batch(in_batch, batch_size) > 0) {
       result.peak_buffered_reads =
           std::max(result.peak_buffered_reads, in_batch.size());
+      util::Timer pass2_timer;
       correct_batch_parallel(pool, in_batch, out_batch, result.report);
+      result.pass2_seconds += pass2_timer.seconds();
       io::write_fastq(out, std::span<const seq::Read>(out_batch));
       ++result.batches;
       in_batch.clear();
@@ -107,13 +110,17 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
            offset += batch_size) {
         const std::size_t n =
             std::min(batch_size, all.reads.size() - offset);
+        util::Timer pass2_timer;
         correct_batch_parallel(pool, {all.reads.data() + offset, n},
                                out_batch, result.report);
+        result.pass2_seconds += pass2_timer.seconds();
         io::write_fastq(out, std::span<const seq::Read>(out_batch));
         ++result.batches;
       }
     } else {
+      util::Timer pass2_timer;
       const auto corrected = corrector_->correct_all(all, result.report);
+      result.pass2_seconds += pass2_timer.seconds();
       for (std::size_t offset = 0; offset < corrected.size();
            offset += batch_size) {
         const std::size_t n = std::min(batch_size, corrected.size() - offset);
@@ -127,8 +134,36 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
   if (!out) {
     throw std::runtime_error("CorrectionPipeline: error writing output");
   }
+  // Standardized observability extras: every tool and bench reports the
+  // same perf keys regardless of method.
+  corrector_->annotate_report(result.report);
+  if (result.pass2_seconds > 0.0) {
+    result.report.bump(
+        "pass2_reads_per_sec",
+        static_cast<std::uint64_t>(static_cast<double>(result.report.reads) /
+                                   result.pass2_seconds));
+  }
   result.peak_rss_bytes = util::peak_rss_bytes();
   return result;
+}
+
+std::unique_ptr<BatchScratch> CorrectionPipeline::acquire_scratch() {
+  {
+    std::lock_guard<std::mutex> lock(scratch_mutex_);
+    if (!scratch_pool_.empty()) {
+      auto scratch = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+      return scratch;
+    }
+  }
+  return corrector_->make_scratch();
+}
+
+void CorrectionPipeline::release_scratch(
+    std::unique_ptr<BatchScratch> scratch) {
+  if (scratch == nullptr) return;
+  std::lock_guard<std::mutex> lock(scratch_mutex_);
+  scratch_pool_.push_back(std::move(scratch));
 }
 
 void CorrectionPipeline::correct_batch_parallel(util::ThreadPool& pool,
@@ -142,7 +177,10 @@ void CorrectionPipeline::correct_batch_parallel(util::ThreadPool& pool,
     CorrectionReport local;
     std::vector<seq::Read> block;
     block.reserve(hi - lo);
-    corrector_->correct_batch(in.subspan(lo, hi - lo), block, local);
+    auto scratch = acquire_scratch();
+    corrector_->correct_batch(in.subspan(lo, hi - lo), block, local,
+                              scratch.get());
+    release_scratch(std::move(scratch));
     if (block.size() != hi - lo) {
       throw std::runtime_error(
           "correct_batch returned a different number of reads");

@@ -20,7 +20,9 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/corrector.hpp"
 
@@ -56,6 +58,9 @@ struct PipelineResult {
   std::uint64_t peak_rss_bytes = 0;
   /// True when phase 1 ran from the streamed spectrum.
   bool streamed = false;
+  /// Wall time spent in phase-2 batch correction (excludes phase 1 and
+  /// output writing); report.extra("pass2_reads_per_sec") derives from it.
+  double pass2_seconds = 0.0;
 };
 
 class CorrectionPipeline {
@@ -84,8 +89,18 @@ class CorrectionPipeline {
                               std::vector<seq::Read>& out,
                               CorrectionReport& report);
 
+  /// Checks a per-worker scratch object out of / back into the reuse
+  /// pool (created on demand via corrector_->make_scratch()). Pooling
+  /// spans batches, so a worker's buffers stay warm for the whole run;
+  /// the two lock acquisitions per block are negligible next to the
+  /// hundreds of reads each block corrects.
+  std::unique_ptr<BatchScratch> acquire_scratch();
+  void release_scratch(std::unique_ptr<BatchScratch> scratch);
+
   std::unique_ptr<Corrector> corrector_;
   PipelineOptions options_;
+  std::vector<std::unique_ptr<BatchScratch>> scratch_pool_;
+  std::mutex scratch_mutex_;
 };
 
 }  // namespace ngs::core

@@ -14,13 +14,17 @@ HammingGraph::HammingGraph(const KSpectrum& spectrum, int d, int chunks)
   const std::size_t n = spectrum.size();
   offsets_.assign(n + 1, 0);
   // Vertices are visited in spectrum order, so adjacency lists append in
-  // CSR order directly.
+  // CSR order directly. The template visitor + reused dedup scratch keep
+  // the n queries free of std::function dispatch and per-query
+  // allocation.
+  std::vector<std::uint32_t> hits;
   for (std::size_t i = 0; i < n; ++i) {
-    index.for_each_neighbor(spectrum.code_at(i),
-                            [&](seq::KmerCode, std::size_t j) {
-                              neighbors_.push_back(
-                                  static_cast<std::uint32_t>(j));
-                            });
+    index.for_each_neighbor(
+        spectrum.code_at(i),
+        [this](seq::KmerCode, std::size_t j) {
+          neighbors_.push_back(static_cast<std::uint32_t>(j));
+        },
+        hits);
     offsets_[i + 1] = neighbors_.size();
   }
 }

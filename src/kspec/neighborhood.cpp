@@ -1,7 +1,7 @@
 #include "kspec/neighborhood.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "util/thread_pool.hpp"
 
@@ -9,12 +9,13 @@ namespace ngs::kspec {
 
 void CandidateEnumerator::for_each_neighbor(seq::KmerCode code, int d,
                                             const NeighborVisitor& visit) const {
-  scratch_.clear();
-  seq::enumerate_neighbors(code, spectrum_->k(), d, scratch_);
-  for (const seq::KmerCode cand : scratch_) {
-    const auto idx = spectrum_->index_of(cand);
-    if (idx >= 0) visit(cand, static_cast<std::size_t>(idx));
-  }
+  // Thin wrapper: dispatch through the template overload so both paths
+  // share one implementation.
+  for_each_neighbor(code, d,
+                    [&visit](seq::KmerCode cand, std::size_t idx) {
+                      visit(cand, idx);
+                    },
+                    scratch_);
 }
 
 namespace {
@@ -98,31 +99,12 @@ MaskedSortIndex::MaskedSortIndex(const KSpectrum& spectrum, int c, int d,
 
 void MaskedSortIndex::for_each_neighbor(seq::KmerCode code,
                                         const NeighborVisitor& visit) const {
-  // Collect candidate spectrum indices from every replica, then
-  // deduplicate (a neighbor whose mutated positions span fewer than d
-  // chunks collides in several replicas).
   std::vector<std::uint32_t> hits;
-  for (const auto& rep : replicas_) {
-    const seq::KmerCode keep = ~rep.mask;
-    const seq::KmerCode key = code & keep;
-    auto cmp_lo = [&](std::uint32_t idx, seq::KmerCode value) {
-      return (spectrum_->code_at(idx) & keep) < value;
-    };
-    auto it = std::lower_bound(rep.order.begin(), rep.order.end(), key,
-                               cmp_lo);
-    for (; it != rep.order.end() &&
-           (spectrum_->code_at(*it) & keep) == key;
-         ++it) {
-      const seq::KmerCode cand = spectrum_->code_at(*it);
-      const int hd = seq::kmer_hamming(cand, code);
-      if (hd >= 1 && hd <= d_) hits.push_back(*it);
-    }
-  }
-  std::sort(hits.begin(), hits.end());
-  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
-  for (const std::uint32_t idx : hits) {
-    visit(spectrum_->code_at(idx), idx);
-  }
+  for_each_neighbor(code,
+                    [&visit](seq::KmerCode cand, std::size_t idx) {
+                      visit(cand, idx);
+                    },
+                    hits);
 }
 
 std::size_t MaskedSortIndex::memory_bytes() const noexcept {

@@ -17,8 +17,15 @@
 //    densities each run is O(1), giving the paper's ~constant expected
 //    time per neighbor.
 //
-// bench_ablation_neighborhood measures the trade-off between the two.
+// Both expose template visitor overloads — the hot paths (Hamming-graph
+// construction, per-tile neighborhood queries) instantiate the visitor
+// inline with zero std::function dispatch or capture allocation — plus
+// caller-supplied scratch overloads so batch loops reuse one buffer per
+// worker. The std::function forms remain as thin wrappers for
+// non-critical call sites. bench_ablation_neighborhood measures the
+// trade-off between the two strategies.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -43,7 +50,28 @@ class CandidateEnumerator {
       : spectrum_(&spectrum) {}
 
   /// Visits every kmer in the spectrum within Hamming distance [1, d] of
-  /// `code` (the kmer itself is not visited).
+  /// `code` (the kmer itself is not visited). `scratch` holds the
+  /// enumerated candidates; reuse one vector per worker to keep batch
+  /// queries allocation-free. Thread-safe for concurrent callers with
+  /// distinct scratch vectors.
+  template <typename Visitor>
+  void for_each_neighbor(seq::KmerCode code, int d, Visitor&& visit,
+                         std::vector<seq::KmerCode>& scratch) const {
+    scratch.clear();
+    seq::enumerate_neighbors(code, spectrum_->k(), d, scratch);
+    for (const seq::KmerCode cand : scratch) {
+      const auto idx = spectrum_->index_of(cand);
+      if (idx >= 0) visit(cand, static_cast<std::size_t>(idx));
+    }
+  }
+
+  /// As above, using the enumerator's own scratch (single-threaded use).
+  template <typename Visitor>
+  void for_each_neighbor(seq::KmerCode code, int d, Visitor&& visit) const {
+    for_each_neighbor(code, d, std::forward<Visitor>(visit), scratch_);
+  }
+
+  /// Type-erased form (thin wrapper over the template overload).
   void for_each_neighbor(seq::KmerCode code, int d,
                          const NeighborVisitor& visit) const;
 
@@ -67,7 +95,45 @@ class MaskedSortIndex {
   std::size_t num_replicas() const noexcept { return replicas_.size(); }
 
   /// Visits every spectrum kmer within Hamming distance [1, d] of `code`.
-  /// Exact: each neighbor is reported exactly once.
+  /// Exact: each neighbor is reported exactly once. `hits` is dedup
+  /// scratch (a neighbor whose mutated positions span fewer than d
+  /// chunks collides in several replicas); reuse one vector per worker.
+  /// Thread-safe for concurrent callers with distinct scratch vectors.
+  template <typename Visitor>
+  void for_each_neighbor(seq::KmerCode code, Visitor&& visit,
+                         std::vector<std::uint32_t>& hits) const {
+    hits.clear();
+    for (const auto& rep : replicas_) {
+      const seq::KmerCode keep = ~rep.mask;
+      const seq::KmerCode key = code & keep;
+      auto cmp_lo = [&](std::uint32_t idx, seq::KmerCode value) {
+        return (spectrum_->code_at(idx) & keep) < value;
+      };
+      auto it = std::lower_bound(rep.order.begin(), rep.order.end(), key,
+                                 cmp_lo);
+      for (; it != rep.order.end() &&
+             (spectrum_->code_at(*it) & keep) == key;
+           ++it) {
+        const seq::KmerCode cand = spectrum_->code_at(*it);
+        const int hd = seq::kmer_hamming(cand, code);
+        if (hd >= 1 && hd <= d_) hits.push_back(*it);
+      }
+    }
+    std::sort(hits.begin(), hits.end());
+    hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+    for (const std::uint32_t idx : hits) {
+      visit(spectrum_->code_at(idx), idx);
+    }
+  }
+
+  /// As above with call-local scratch.
+  template <typename Visitor>
+  void for_each_neighbor(seq::KmerCode code, Visitor&& visit) const {
+    std::vector<std::uint32_t> hits;
+    for_each_neighbor(code, std::forward<Visitor>(visit), hits);
+  }
+
+  /// Type-erased form (thin wrapper over the template overload).
   void for_each_neighbor(seq::KmerCode code,
                          const NeighborVisitor& visit) const;
 

@@ -58,6 +58,12 @@ kspec::TileParams tile_params_of(const ReptileParams& p) {
   return tp;
 }
 
+/// Memo value layout: tag in the top 2 bits (0 = insufficient,
+/// 1 = valid, 2 = corrected+quality-gated, 3 = corrected), the corrected
+/// tile code in the low 62.
+constexpr std::uint64_t kTagShift = 62;
+constexpr std::uint64_t kCodeMask = (std::uint64_t{1} << kTagShift) - 1;
+
 }  // namespace
 
 ReptileCorrector::ReptileCorrector(const seq::ReadSet& reads,
@@ -111,6 +117,7 @@ std::uint64_t ReptileCorrector::convert_ambiguous(
 }
 
 void ReptileCorrector::kmer_options(seq::KmerCode code, int d_limit,
+                                    std::vector<seq::KmerCode>& novel,
                                     std::vector<seq::KmerCode>& out) const {
   out.push_back(code);
   if (d_limit <= 0) return;
@@ -124,9 +131,9 @@ void ReptileCorrector::kmer_options(seq::KmerCode code, int d_limit,
   } else {
     // Novel kmer (not part of the build set): fall back to candidate
     // enumeration against the spectrum.
-    std::vector<seq::KmerCode> cands;
-    seq::enumerate_neighbors(code, params_.k, d_limit, cands);
-    for (const seq::KmerCode cand : cands) {
+    novel.clear();
+    seq::enumerate_neighbors(code, params_.k, d_limit, novel);
+    for (const seq::KmerCode cand : novel) {
       if (spectrum_.contains(cand)) out.push_back(cand);
     }
   }
@@ -147,42 +154,45 @@ void ReptileCorrector::kmer_options(seq::KmerCode code, int d_limit,
 
 ReptileCorrector::TileOutcome ReptileCorrector::correct_tile(
     seq::KmerCode tile, std::span<const std::uint8_t> tile_quality, int d1,
-    int d2, TileOutcomeCache* cache) const {
+    int d2, Scratch& scratch, TileDecisionCache* cache) const {
   const int T = params_.tile_length();
   TileOutcome outcome;
 
   // The raw decision depends only on (tile, d1, d2); memoize it when a
   // cache is supplied and the key fits (2T + 4 bits).
-  const bool cacheable = cache != nullptr && 2 * T + 4 <= 62 && d1 <= 3 &&
-                         d2 <= 3;
-  if (cacheable) {
+  const bool use_cache =
+      cache != nullptr && cacheable() && d1 >= 0 && d1 <= 3 && d2 >= 0 &&
+      d2 <= 3;
+  if (use_cache) {
     const std::uint64_t key =
         (tile << 4) | (static_cast<std::uint64_t>(d1) << 2) |
         static_cast<std::uint64_t>(d2);
     std::uint64_t encoded = 0;
     if (cache->lookup(key, encoded)) {
-      const auto tag = static_cast<unsigned>(encoded >> 62);
+      const auto tag = static_cast<unsigned>(encoded >> kTagShift);
       outcome.decision = tag == 0 ? TileDecision::kInsufficient
                          : tag == 1 ? TileDecision::kValid
                                     : TileDecision::kCorrected;
-      outcome.corrected = encoded & ((std::uint64_t{1} << 62) - 1);
+      outcome.corrected = encoded & kCodeMask;
       outcome.quality_gated = tag == 2;
     } else {
-      outcome = correct_tile_raw(tile, d1, d2);
+      outcome = correct_tile_raw(tile, d1, d2, scratch);
       std::uint64_t tag = 0;
       if (outcome.decision == TileDecision::kValid) {
         tag = 1;
       } else if (outcome.decision == TileDecision::kCorrected) {
         tag = outcome.quality_gated ? 2 : 3;
       }
-      cache->store(key, (tag << 62) | outcome.corrected);
+      cache->store(key, (tag << kTagShift) | outcome.corrected);
     }
   } else {
-    outcome = correct_tile_raw(tile, d1, d2);
+    outcome = correct_tile_raw(tile, d1, d2, scratch);
   }
 
   // Per-instance quality gate (Algorithm 1, line 14): a strong-branch
-  // correction must touch at least one low-confidence base.
+  // correction must touch at least one low-confidence base. This is the
+  // only read-dependent part of the decision, which is why it stays
+  // outside the memo.
   if (outcome.decision == TileDecision::kCorrected && outcome.quality_gated &&
       !tile_quality.empty()) {
     bool touches_low_quality = false;
@@ -200,7 +210,7 @@ ReptileCorrector::TileOutcome ReptileCorrector::correct_tile(
 }
 
 ReptileCorrector::TileOutcome ReptileCorrector::correct_tile_raw(
-    seq::KmerCode tile, int d1, int d2) const {
+    seq::KmerCode tile, int d1, int d2, Scratch& scratch) const {
   const int k = params_.k;
   const int l = params_.overlap;
   const int T = params_.tile_length();
@@ -212,17 +222,16 @@ ReptileCorrector::TileOutcome ReptileCorrector::correct_tile_raw(
   const seq::KmerCode alpha1 = tile >> (2 * (T - k));
   const seq::KmerCode alpha2 = tile & ((seq::KmerCode{1} << (2 * k)) - 1);
 
-  std::vector<seq::KmerCode> opts1, opts2;
-  kmer_options(alpha1, d1, opts1);
-  kmer_options(alpha2, d2, opts2);
+  auto& opts1 = scratch.opts1;
+  auto& opts2 = scratch.opts2;
+  opts1.clear();
+  opts2.clear();
+  kmer_options(alpha1, d1, scratch.novel, opts1);
+  kmer_options(alpha2, d2, scratch.novel, opts2);
 
   // Enumerate d-mutant tiles present (with high-quality support) in R.
-  struct Candidate {
-    seq::KmerCode code;
-    std::uint32_t og;
-    int hd;
-  };
-  std::vector<Candidate> candidates;
+  auto& candidates = scratch.candidates;
+  candidates.clear();
   for (const seq::KmerCode a1 : opts1) {
     for (const seq::KmerCode a2 : opts2) {
       if (l > 0) {
@@ -246,30 +255,32 @@ ReptileCorrector::TileOutcome ReptileCorrector::correct_tile_raw(
 
   if (og_t >= params_.c_min) {
     // Lines 10-15: keep only strongly dominating alternatives.
-    std::vector<Candidate> dominating;
+    const TileCandidate* unique_best = nullptr;
+    int min_hd = 0;
+    std::size_t dominating = 0;
     for (const auto& c : candidates) {
-      if (static_cast<double>(c.og) >=
+      if (static_cast<double>(c.og) <
           params_.c_ratio * static_cast<double>(og_t)) {
-        dominating.push_back(c);
+        continue;
+      }
+      ++dominating;
+      if (dominating == 1 || c.hd < min_hd) {
+        min_hd = c.hd;
+        unique_best = &c;
+      } else if (c.hd == min_hd) {
+        unique_best = nullptr;  // ambiguous at the minimal distance
       }
     }
-    if (dominating.empty()) return {TileDecision::kValid, 0};
-    int min_hd = dominating.front().hd;
-    for (const auto& c : dominating) min_hd = std::min(min_hd, c.hd);
-    const Candidate* unique_best = nullptr;
-    for (const auto& c : dominating) {
-      if (c.hd != min_hd) continue;
-      if (unique_best != nullptr) {
-        return {TileDecision::kInsufficient, 0, false};  // ambiguous
-      }
-      unique_best = &c;
+    if (dominating == 0) return {TileDecision::kValid, 0};
+    if (unique_best == nullptr) {
+      return {TileDecision::kInsufficient, 0, false};  // ambiguous
     }
     // The per-instance low-quality-base gate is applied by the caller.
     return {TileDecision::kCorrected, unique_best->code, true};
   }
 
   // Lines 17-21: the tile itself is weak; accept a unique trusted mutant.
-  const Candidate* only = nullptr;
+  const TileCandidate* only = nullptr;
   for (const auto& c : candidates) {
     if (c.og >= params_.c_min) {
       if (only != nullptr) return {TileDecision::kInsufficient, 0};
@@ -282,8 +293,8 @@ ReptileCorrector::TileOutcome ReptileCorrector::correct_tile_raw(
 
 void ReptileCorrector::sweep(std::string& bases,
                              const std::vector<std::uint8_t>& quality,
-                             CorrectionStats& stats,
-                             TileOutcomeCache* cache) const {
+                             CorrectionStats& stats, Scratch& scratch,
+                             TileDecisionCache* cache) const {
   const int T = params_.tile_length();
   const int k = params_.k;
   const auto L = static_cast<int>(bases.size());
@@ -308,17 +319,18 @@ void ReptileCorrector::sweep(std::string& bases,
         q = std::span<const std::uint8_t>(
             quality.data() + pos, static_cast<std::size_t>(T));
       }
-      outcome = correct_tile(*code, q, d1, d2, cache);
+      outcome = correct_tile(*code, q, d1, d2, scratch, cache);
     }
 
     switch (outcome.decision) {
       case TileDecision::kCorrected: {
         ++stats.tiles_corrected;
-        const std::string fixed = seq::decode_kmer(outcome.corrected, T);
         for (int i = 0; i < T; ++i) {
+          const char fixed =
+              seq::code_to_base(seq::kmer_base(outcome.corrected, T, i));
           auto& b = bases[static_cast<std::size_t>(pos + i)];
-          if (b != fixed[static_cast<std::size_t>(i)]) {
-            b = fixed[static_cast<std::size_t>(i)];
+          if (b != fixed) {
+            b = fixed;
             ++stats.bases_changed;
           }
         }
@@ -378,22 +390,27 @@ void ReptileCorrector::sweep(std::string& bases,
 }
 
 seq::Read ReptileCorrector::correct(const seq::Read& read,
-                                    CorrectionStats& stats,
-                                    TileOutcomeCache* cache) const {
+                                    CorrectionStats& stats, Scratch& scratch,
+                                    TileDecisionCache* cache) const {
   ++stats.reads;
   seq::Read out = read;
-  std::vector<std::uint8_t> quality = read.quality;
+  auto& quality = scratch.quality;
+  quality = read.quality;
   stats.ambiguous_converted += convert_ambiguous(out.bases, quality);
 
   // 5' -> 3' sweep.
-  sweep(out.bases, quality, stats, cache);
+  sweep(out.bases, quality, stats, scratch, cache);
 
   // 3' -> 5' sweep via the reverse complement (the tables contain both
   // strands, so lookups are directly valid).
-  std::string rc = seq::reverse_complement(out.bases);
-  std::vector<std::uint8_t> rq(quality.rbegin(), quality.rend());
-  sweep(rc, rq, stats, cache);
-  out.bases = seq::reverse_complement(rc);
+  auto& rc = scratch.rc;
+  rc.assign(out.bases.rbegin(), out.bases.rend());
+  for (char& b : rc) b = seq::complement_base(b);
+  auto& rq = scratch.rq;
+  rq.assign(quality.rbegin(), quality.rend());
+  sweep(rc, rq, stats, scratch, cache);
+  out.bases.assign(rc.rbegin(), rc.rend());
+  for (char& b : out.bases) b = seq::complement_base(b);
   return out;
 }
 
@@ -401,12 +418,13 @@ std::vector<seq::Read> ReptileCorrector::correct_all(
     const seq::ReadSet& reads, CorrectionStats& stats) const {
   std::vector<seq::Read> out(reads.reads.size());
   std::mutex stats_mutex;
+  TileDecisionCache cache(kDefaultTileCacheBytes);
   util::default_pool().parallel_for_blocked(
       0, reads.reads.size(), [&](std::size_t lo, std::size_t hi) {
         CorrectionStats local;
-        TileOutcomeCache cache;  // shared across this block's reads
+        Scratch scratch;
         for (std::size_t i = lo; i < hi; ++i) {
-          out[i] = correct(reads.reads[i], local, &cache);
+          out[i] = correct(reads.reads[i], local, scratch, &cache);
         }
         std::lock_guard<std::mutex> lock(stats_mutex);
         stats.merge(local);

@@ -7,10 +7,19 @@
 // alternative tile placements on inconclusive decisions (Algorithm 2,
 // rules [D1]-[D3]), sweeping 5'->3' and then 3'->5' (via the reverse
 // complement, which the double-stranded tables support natively).
+//
+// Pass-2 performance: at coverage c every erroneous tile recurs in ~c
+// reads, so the expensive part of Algorithm 1 — the d-mutant candidate
+// enumeration and tile resolution, which depends only on the tile code
+// and the (d1, d2) budgets, never on the read — is memoized in a
+// util::ShardedCache shared by all correction workers. Only the final
+// per-instance quality gate (line 14) consults the read's quality
+// scores, and it is applied after the memo lookup, so cached and
+// uncached correction are byte-identical for any thread count.
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 #include "kspec/hamming_graph.hpp"
@@ -18,6 +27,7 @@
 #include "kspec/tile_table.hpp"
 #include "reptile/params.hpp"
 #include "seq/read.hpp"
+#include "util/sharded_cache.hpp"
 
 namespace ngs::reptile {
 
@@ -41,29 +51,38 @@ struct CorrectionStats {
   }
 };
 
-/// Memoizes quality-independent tile decisions. At typical coverages the
-/// same tile code is corrected hundreds of times across reads, and the
-/// d-mutant enumeration (the expensive step) does not depend on the
-/// instance's quality scores — only the final accept gate does.
-class TileOutcomeCache {
- public:
-  bool lookup(std::uint64_t key, std::uint64_t& encoded) const {
-    const auto it = map_.find(key);
-    if (it == map_.end()) return false;
-    encoded = it->second;
-    return true;
-  }
-  void store(std::uint64_t key, std::uint64_t encoded) {
-    map_.emplace(key, encoded);
-  }
-  std::size_t size() const noexcept { return map_.size(); }
+/// Default byte budget for a shared tile-decision memo when the caller
+/// does not size one explicitly (correct_all, the corrector registry).
+inline constexpr std::size_t kDefaultTileCacheBytes = 32u << 20;
 
- private:
-  std::unordered_map<std::uint64_t, std::uint64_t> map_;
+/// Concurrent memo of quality-independent tile decisions, shared across
+/// every correction worker (lock-striped, bounded capacity; see
+/// util::ShardedCache). The memoized value is a pure function of the
+/// key, so eviction or a racing store only ever costs a recomputation.
+using TileDecisionCache = util::ShardedCache;
+
+/// A d-mutant tile candidate surfaced by Algorithm 1.
+struct TileCandidate {
+  seq::KmerCode code = 0;
+  std::uint32_t og = 0;
+  int hd = 0;
 };
 
 class ReptileCorrector {
  public:
+  /// Reusable per-worker scratch for phase 2. One instance per thread
+  /// (or per sequential run); reusing it across reads removes every
+  /// per-tile heap allocation from the hot path.
+  struct Scratch {
+    std::vector<seq::KmerCode> opts1;       // kmer options for alpha1
+    std::vector<seq::KmerCode> opts2;       // kmer options for alpha2
+    std::vector<seq::KmerCode> novel;       // novel-kmer neighbor fallback
+    std::vector<TileCandidate> candidates;  // d-mutant tiles present in R
+    std::vector<std::uint8_t> quality;      // working copy per read
+    std::string rc;                         // reverse-complement sweep buffer
+    std::vector<std::uint8_t> rq;
+  };
+
   /// Phase 1: ambiguous bases satisfying the density constraint are
   /// converted to params.default_base in a working copy of the reads,
   /// from which the spectrum, Hamming graph, and tile table are built.
@@ -74,14 +93,29 @@ class ReptileCorrector {
   const kspec::TileTable& tiles() const noexcept { return tiles_; }
 
   /// Phase 2 for one read; returns the corrected read and accumulates
-  /// stats. Thread-safe (const, no shared mutable state). `cache` may be
-  /// shared across calls from the same thread to memoize tile decisions.
+  /// stats. Thread-safe (const, no shared mutable state beyond `cache`,
+  /// which is itself concurrent and may be shared by every worker).
+  /// `scratch` must not be shared between concurrent callers.
   seq::Read correct(const seq::Read& read, CorrectionStats& stats,
-                    TileOutcomeCache* cache = nullptr) const;
+                    Scratch& scratch,
+                    TileDecisionCache* cache = nullptr) const;
 
-  /// Corrects every read (parallel over the default thread pool).
+  /// Convenience overload with call-local scratch (tests, one-off use).
+  seq::Read correct(const seq::Read& read, CorrectionStats& stats) const {
+    Scratch scratch;
+    return correct(read, stats, scratch, nullptr);
+  }
+
+  /// Corrects every read (parallel over the default thread pool), with
+  /// per-worker scratch and one shared tile-decision cache.
   std::vector<seq::Read> correct_all(const seq::ReadSet& reads,
                                      CorrectionStats& stats) const;
+
+  /// True when tile decisions for this parameterization fit the memo
+  /// encoding (tile code + distance budgets in 62 bits).
+  bool cacheable() const noexcept {
+    return 2 * params_.tile_length() + 4 <= 62;
+  }
 
  private:
   /// Tags the delegated constructor whose read set has already been
@@ -103,19 +137,24 @@ class ReptileCorrector {
   /// Algorithm 1 on the tile starting at `pos` of the working read.
   TileOutcome correct_tile(seq::KmerCode tile,
                            std::span<const std::uint8_t> tile_quality,
-                           int d1, int d2, TileOutcomeCache* cache) const;
+                           int d1, int d2, Scratch& scratch,
+                           TileDecisionCache* cache) const;
 
   /// The quality-independent part of Algorithm 1 (memoizable).
-  TileOutcome correct_tile_raw(seq::KmerCode tile, int d1, int d2) const;
+  TileOutcome correct_tile_raw(seq::KmerCode tile, int d1, int d2,
+                               Scratch& scratch) const;
 
   /// Kmers within Hamming distance [0, d_limit] of `code` that occur in
-  /// the spectrum (including `code` itself). Appends to `out`.
+  /// the spectrum (including `code` itself). Appends to `out`; `novel`
+  /// is enumeration scratch for kmers absent from the build set.
   void kmer_options(seq::KmerCode code, int d_limit,
+                    std::vector<seq::KmerCode>& novel,
                     std::vector<seq::KmerCode>& out) const;
 
   /// Algorithm 2 sweep over one orientation of the working read.
   void sweep(std::string& bases, const std::vector<std::uint8_t>& quality,
-             CorrectionStats& stats, TileOutcomeCache* cache) const;
+             CorrectionStats& stats, Scratch& scratch,
+             TileDecisionCache* cache) const;
 
   /// Converts eligible N's in place; returns number converted.
   std::uint64_t convert_ambiguous(std::string& bases,

@@ -1,0 +1,213 @@
+#pragma once
+// ShardedCache: a concurrent, bounded-capacity memo cache from uint64
+// keys to uint64 values, built for decision memoization on hot paths
+// (Reptile's pass-2 tile decisions; any pure uint64 -> uint64 function).
+//
+// Design:
+//  - N lock-striped shards (power of two), each an open-addressed slot
+//    array with a bounded linear-probe window. A lookup or store takes
+//    exactly one shard mutex; distinct keys hash to distinct shards with
+//    high probability, so workers proceed contention-free in practice.
+//  - Bounded capacity: the slot arrays are sized once from a byte budget
+//    and never grow. When a probe window is full the incoming entry
+//    *deterministically* replaces the entry at the key's home slot, so
+//    the resident set is a pure function of the store sequence.
+//  - Generation-based reset: reset() bumps a per-shard generation tag in
+//    O(#shards); slots whose tag differs from the shard's are logically
+//    empty. No slot array is touched until keys are re-inserted.
+//  - Counters: per-shard hit/miss/insert/evict tallies, aggregated by
+//    stats() — observability for cache sizing (see --tile-cache-mb).
+//
+// Because callers memoize pure functions, an evicted or lost entry only
+// costs a recomputation — results are identical for any thread count and
+// any interleaving, which is what lets the correction pipeline share one
+// cache across every worker while guaranteeing byte-identical output.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ngs::util {
+
+class ShardedCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+
+    double hit_rate() const noexcept {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  /// `capacity_bytes` bounds the slot storage (rounded down to a power
+  /// of two per shard, minimum one probe window each). `shards` must be
+  /// a power of two; 0 picks one based on hardware concurrency.
+  explicit ShardedCache(std::size_t capacity_bytes,
+                        std::size_t shards = 0) {
+    std::size_t n = shards;
+    if (n == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      n = 1;
+      while (n < hw * 2 && n < 64) n <<= 1;
+    }
+    if ((n & (n - 1)) != 0 || n == 0) {
+      std::size_t p = 1;
+      while (p < n) p <<= 1;
+      n = p;
+    }
+    const std::size_t total_slots = capacity_bytes / sizeof(Slot);
+    std::size_t per_shard = kProbeWindow;
+    while (per_shard * 2 * n <= total_slots) per_shard <<= 1;
+    shard_bits_ = 0;
+    while ((std::size_t{1} << shard_bits_) < n) ++shard_bits_;
+    shards_ = std::make_unique<Shard[]>(n);
+    num_shards_ = n;
+    slots_per_shard_ = per_shard;
+    for (std::size_t s = 0; s < n; ++s) {
+      shards_[s].slots.assign(per_shard, Slot{});
+    }
+  }
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  /// True (and sets `value`) when `key` is resident. Counts one hit or
+  /// one miss.
+  bool lookup(std::uint64_t key, std::uint64_t& value) noexcept {
+    const std::uint64_t h = mix(key);
+    Shard& shard = shards_[h & (num_shards_ - 1)];
+    const std::size_t home =
+        (h >> shard_bits_) & (slots_per_shard_ - 1);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (std::size_t p = 0; p < kProbeWindow; ++p) {
+      const Slot& slot =
+          shard.slots[(home + p) & (slots_per_shard_ - 1)];
+      if (slot.gen != shard.gen) break;  // first empty ends the chain
+      if (slot.key == key) {
+        value = slot.value;
+        ++shard.stats.hits;
+        return true;
+      }
+    }
+    ++shard.stats.misses;
+    return false;
+  }
+
+  /// Inserts or overwrites `key`. When the probe window is full the
+  /// entry at the key's home slot is evicted (deterministic in the
+  /// store sequence).
+  void store(std::uint64_t key, std::uint64_t value) noexcept {
+    const std::uint64_t h = mix(key);
+    Shard& shard = shards_[h & (num_shards_ - 1)];
+    const std::size_t home =
+        (h >> shard_bits_) & (slots_per_shard_ - 1);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (std::size_t p = 0; p < kProbeWindow; ++p) {
+      Slot& slot = shard.slots[(home + p) & (slots_per_shard_ - 1)];
+      if (slot.gen != shard.gen) {
+        slot = {key, value, shard.gen};
+        ++shard.used;
+        ++shard.stats.insertions;
+        return;
+      }
+      if (slot.key == key) {
+        slot.value = value;
+        return;
+      }
+    }
+    shard.slots[home] = {key, value, shard.gen};
+    ++shard.stats.evictions;
+  }
+
+  /// Logically empties the cache in O(#shards). Counters are preserved
+  /// (they describe the cache's whole lifetime).
+  void reset() noexcept {
+    for (std::size_t s = 0; s < num_shards_; ++s) {
+      Shard& shard = shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (++shard.gen == 0) {
+        // Tag wrapped: physically clear so stale gen-0 slots cannot
+        // alias, then restart at generation 1.
+        shard.slots.assign(slots_per_shard_, Slot{});
+        shard.gen = 1;
+      }
+      shard.used = 0;
+    }
+  }
+
+  Stats stats() const {
+    Stats total;
+    for (std::size_t s = 0; s < num_shards_; ++s) {
+      Shard& shard = shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total.hits += shard.stats.hits;
+      total.misses += shard.stats.misses;
+      total.insertions += shard.stats.insertions;
+      total.evictions += shard.stats.evictions;
+    }
+    return total;
+  }
+
+  /// Entries resident in the current generation.
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (std::size_t s = 0; s < num_shards_; ++s) {
+      Shard& shard = shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      n += shard.used;
+    }
+    return n;
+  }
+
+  std::size_t num_shards() const noexcept { return num_shards_; }
+  std::size_t capacity() const noexcept {
+    return num_shards_ * slots_per_shard_;
+  }
+  std::size_t capacity_bytes() const noexcept {
+    return capacity() * sizeof(Slot);
+  }
+
+ private:
+  static constexpr std::size_t kProbeWindow = 16;
+
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+    std::uint32_t gen = 0;  // empty while != owning shard's gen (>= 1)
+  };
+
+  /// Shards are cache-line separated so one worker's lock traffic does
+  /// not false-share a neighbor's.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::vector<Slot> slots;
+    std::uint32_t gen = 1;
+    std::size_t used = 0;
+    Stats stats;
+  };
+
+  static std::uint64_t mix(std::uint64_t x) noexcept {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  std::unique_ptr<Shard[]> shards_;
+  std::size_t num_shards_ = 0;
+  std::size_t slots_per_shard_ = 0;
+  unsigned shard_bits_ = 0;
+};
+
+}  // namespace ngs::util

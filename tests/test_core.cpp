@@ -298,6 +298,47 @@ TEST(CorrectionPipeline, OwnThreadCountMatchesDefaultPoolOutput) {
   EXPECT_FALSE(outputs[0].empty());
 }
 
+// The tile-decision memo must never change what the pipeline writes:
+// cached and uncached runs are byte-identical at every thread count,
+// and the cached run surfaces the standardized perf extras.
+TEST(CorrectionPipeline, TileCacheOutputByteIdenticalAcrossThreadCounts) {
+  const auto run = make_run(23);
+  const std::string input = to_fastq(run.reads);
+
+  auto run_pipeline = [&](std::size_t tile_cache_mb, std::size_t threads,
+                          core::CorrectionReport& report) {
+    core::CorrectorConfig config;
+    config.genome_length = 20000;
+    config.tile_cache_mb = tile_cache_mb;
+    core::PipelineOptions options;
+    options.batch_size = 301;
+    options.threads = threads;
+    core::CorrectionPipeline pipeline(core::make_corrector("reptile", config),
+                                      options);
+    std::ostringstream out;
+    report = pipeline.run(factory_for(input), out).report;
+    return out.str();
+  };
+
+  core::CorrectionReport uncached_report;
+  const std::string uncached = run_pipeline(0, 1, uncached_report);
+  ASSERT_FALSE(uncached.empty());
+  EXPECT_EQ(uncached_report.extra("tile_cache_hits"), 0u);
+  EXPECT_EQ(uncached_report.extra("tile_cache_misses"), 0u);
+
+  for (const std::size_t threads : {0ul, 1ul, 2ul, 4ul}) {
+    core::CorrectionReport report;
+    EXPECT_EQ(run_pipeline(32, threads, report), uncached) << threads;
+    EXPECT_GT(report.extra("tile_cache_hits") +
+                  report.extra("tile_cache_misses"),
+              0u)
+        << threads;
+    EXPECT_GT(report.extra("pass2_reads_per_sec"), 0u) << threads;
+    EXPECT_EQ(report.reads_changed, uncached_report.reads_changed) << threads;
+    EXPECT_EQ(report.bases_changed, uncached_report.bases_changed) << threads;
+  }
+}
+
 TEST(CorrectionPipeline, NullCorrectorThrows) {
   EXPECT_THROW(core::CorrectionPipeline(nullptr), std::invalid_argument);
 }
@@ -320,7 +361,8 @@ TEST(Registry, CustomRegistrationShadowsAndLists) {
     void build(const seq::ReadSet&) override { mark_ready(); }
     void correct_batch(std::span<const seq::Read> in,
                        std::vector<seq::Read>& out,
-                       core::CorrectionReport& report) const override {
+                       core::CorrectionReport& report,
+                       core::BatchScratch*) const override {
       require_ready();
       for (const auto& r : in) {
         out.push_back(r);

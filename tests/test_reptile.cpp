@@ -146,6 +146,25 @@ TEST(ReptileCorrector, DeterministicAcrossRuns) {
   }
 }
 
+TEST(ReptileCorrector, CachedDecisionsMatchUncachedByteForByte) {
+  const auto setup = make_setup(15000, 50.0, 0.015, 37);
+  reptile::ReptileCorrector corrector(setup.sim.reads, small_params());
+  ASSERT_TRUE(corrector.cacheable());
+  reptile::TileDecisionCache cache(1 << 20);  // small: forces evictions
+  reptile::CorrectionStats su, sc;
+  reptile::ReptileCorrector::Scratch scratch_u, scratch_c;
+  for (const auto& read : setup.sim.reads.reads) {
+    const auto uncached = corrector.correct(read, su, scratch_u, nullptr);
+    const auto cached = corrector.correct(read, sc, scratch_c, &cache);
+    ASSERT_EQ(uncached.bases, cached.bases) << read.id;
+  }
+  EXPECT_EQ(su.bases_changed, sc.bases_changed);
+  EXPECT_EQ(su.tiles_corrected, sc.tiles_corrected);
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
 TEST(ReptileCorrector, RejectsOversizedTiles) {
   seq::ReadSet empty;
   reptile::ReptileParams p;

@@ -1,0 +1,163 @@
+// util::ShardedCache: the concurrent bounded memo cache behind the
+// pass-2 tile-decision memo. Covers counter accuracy, deterministic
+// bounded-capacity eviction, generation-based reset, and a concurrent
+// insert/lookup storm (run under TSan via the `sanitize` ctest label /
+// the tsan CMake preset).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/sharded_cache.hpp"
+
+namespace {
+
+using ngs::util::ShardedCache;
+
+/// The pure function being memoized in these tests: any lookup that
+/// hits must return exactly this value for its key.
+std::uint64_t value_of(std::uint64_t key) {
+  return key * 0x9e3779b97f4a7c15ULL + 1;
+}
+
+TEST(ShardedCache, StoresAndLooksUp) {
+  ShardedCache cache(1 << 20);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(cache.lookup(42, v));
+  cache.store(42, value_of(42));
+  ASSERT_TRUE(cache.lookup(42, v));
+  EXPECT_EQ(v, value_of(42));
+  // Overwrite keeps a single entry.
+  cache.store(42, 7);
+  ASSERT_TRUE(cache.lookup(42, v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedCache, CountersAreExact) {
+  ShardedCache cache(1 << 20);
+  std::uint64_t v = 0;
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_FALSE(cache.lookup(k, v));
+  for (std::uint64_t k = 0; k < 100; ++k) cache.store(k, value_of(k));
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_TRUE(cache.lookup(k, v));
+  for (std::uint64_t k = 0; k < 50; ++k) EXPECT_TRUE(cache.lookup(k, v));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 100u);
+  EXPECT_EQ(stats.hits, 150u);
+  EXPECT_EQ(stats.insertions, 100u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 150.0 / 250.0);
+  EXPECT_EQ(cache.size(), 100u);
+}
+
+TEST(ShardedCache, CapacityIsBoundedAndEvictionDeterministic) {
+  // Tiny single-shard cache: capacity clamps to one probe window.
+  auto fill = [](ShardedCache& cache, std::uint64_t n) {
+    for (std::uint64_t k = 1; k <= n; ++k) cache.store(k, value_of(k));
+  };
+  ShardedCache a(1, 1), b(1, 1);
+  EXPECT_EQ(a.num_shards(), 1u);
+  const std::uint64_t n = 10 * a.capacity();
+  fill(a, n);
+  fill(b, n);
+  EXPECT_LE(a.size(), a.capacity());
+  EXPECT_GT(a.stats().evictions, 0u);
+  // Same store sequence => identical resident set and counters: the
+  // home-slot eviction rule is a pure function of the sequence.
+  std::uint64_t va = 0, vb = 0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    EXPECT_EQ(a.lookup(k, va), b.lookup(k, vb)) << k;
+    EXPECT_EQ(va, vb) << k;
+  }
+  EXPECT_EQ(a.stats().hits, b.stats().hits);
+  EXPECT_EQ(a.stats().evictions, b.stats().evictions);
+  // Every hit still returns the memoized function's value.
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    if (a.lookup(k, va)) {
+      EXPECT_EQ(va, value_of(k)) << k;
+    }
+  }
+}
+
+TEST(ShardedCache, GenerationResetEmptiesInO1PerShard) {
+  ShardedCache cache(1 << 16);
+  for (std::uint64_t k = 0; k < 200; ++k) cache.store(k, value_of(k));
+  EXPECT_EQ(cache.size(), 200u);
+  cache.reset();
+  EXPECT_EQ(cache.size(), 0u);
+  std::uint64_t v = 0;
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_FALSE(cache.lookup(k, v)) << k;
+  }
+  // The cache is fully usable after reset.
+  cache.store(5, 99);
+  ASSERT_TRUE(cache.lookup(5, v));
+  EXPECT_EQ(v, 99u);
+  EXPECT_EQ(cache.size(), 1u);
+  // Counters survive reset (lifetime totals).
+  EXPECT_EQ(cache.stats().insertions, 201u);
+}
+
+TEST(ShardedCache, RepeatedResetsNeverAliasOldEntries) {
+  ShardedCache cache(1 << 12, 2);
+  for (int round = 0; round < 50; ++round) {
+    std::uint64_t v = 0;
+    EXPECT_FALSE(cache.lookup(7, v)) << round;
+    cache.store(7, static_cast<std::uint64_t>(round));
+    ASSERT_TRUE(cache.lookup(7, v));
+    EXPECT_EQ(v, static_cast<std::uint64_t>(round));
+    cache.reset();
+  }
+}
+
+TEST(ShardedCache, ConcurrentStormKeepsValuesConsistent) {
+  // Memoizing workers race on an intentionally small cache (evictions
+  // and overwrites happen constantly). Invariants: a hit always returns
+  // value_of(key), and the aggregate counters account for every lookup.
+  ShardedCache cache(1 << 14);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kOpsPerThread = 20000;
+  constexpr std::uint64_t kKeyRange = 4096;
+  std::atomic<std::uint64_t> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t x = 0x243f6a8885a308d3ULL + static_cast<std::uint64_t>(t);
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const std::uint64_t key = x % kKeyRange;
+        std::uint64_t v = 0;
+        if (cache.lookup(key, v)) {
+          if (v != value_of(key)) ++bad;
+        } else {
+          cache.store(key, value_of(key));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kOpsPerThread);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(ShardedCache, ShardCountDefaultsAndRounding) {
+  ShardedCache one(1 << 20, 1);
+  EXPECT_EQ(one.num_shards(), 1u);
+  ShardedCache rounded(1 << 20, 5);  // non-power-of-two rounds up
+  EXPECT_EQ(rounded.num_shards(), 8u);
+  ShardedCache defaulted(1 << 20);
+  EXPECT_GE(defaulted.num_shards(), 1u);
+  EXPECT_EQ(defaulted.num_shards() & (defaulted.num_shards() - 1), 0u);
+  EXPECT_LE(defaulted.capacity_bytes(), (1u << 20) + 64 * defaulted.num_shards());
+}
+
+}  // namespace

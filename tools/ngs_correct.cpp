@@ -41,6 +41,10 @@ int main(int argc, char** argv) {
                  "pass-1 spectrum build threads (0 = share correction pool)",
                  true, "0");
   cli.add_option("batch-size", "reads per streamed batch", true, "4096");
+  cli.add_option("tile-cache-mb",
+                 "shared pass-2 tile-decision cache budget in MiB "
+                 "(0 = disable memoization)",
+                 true, "32");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage();
     return 2;
@@ -64,6 +68,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("genome-length", 1000000));
   config.k = static_cast<int>(cli.get_int("k", 0));
   config.error_rate = cli.get_double("error-rate", 0.01);
+  config.tile_cache_mb =
+      static_cast<std::size_t>(cli.get_int("tile-cache-mb", 32));
 
   std::unique_ptr<core::Corrector> corrector;
   try {
@@ -92,6 +98,15 @@ int main(int argc, char** argv) {
   std::cerr << "method=" << method_name
             << (result.streamed ? " (streamed spectrum)" : " (buffered)")
             << ": " << result.report.summary() << "\n";
+  const std::uint64_t cache_hits = result.report.extra("tile_cache_hits");
+  const std::uint64_t cache_misses = result.report.extra("tile_cache_misses");
+  if (cache_hits + cache_misses > 0) {
+    std::cerr << "tile cache: "
+              << 100.0 * static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_hits + cache_misses)
+              << "% hit rate, pass 2 "
+              << result.report.extra("pass2_reads_per_sec") << " reads/s\n";
+  }
   std::cerr << "wrote " << cli.get("out") << " in " << timer.seconds()
             << "s (" << result.batches << " batches, peak "
             << result.peak_buffered_reads << " buffered reads, peak rss "
