@@ -25,20 +25,42 @@ std::uint64_t CorrectionReport::extra(std::string_view key) const noexcept {
   return 0;
 }
 
+void CorrectionReport::note(std::string_view key, std::string_view value) {
+  for (auto& [name, existing] : notes) {
+    if (name == key) {
+      existing = std::string(value);
+      return;
+    }
+  }
+  notes.emplace_back(std::string(key), std::string(value));
+}
+
+std::string_view CorrectionReport::note_or(
+    std::string_view key) const noexcept {
+  for (const auto& [name, value] : notes) {
+    if (name == key) return value;
+  }
+  return {};
+}
+
 void CorrectionReport::merge(const CorrectionReport& other) {
   reads += other.reads;
   reads_changed += other.reads_changed;
   bases_changed += other.bases_changed;
   for (const auto& [name, value] : other.extras) bump(name, value);
+  for (const auto& [name, value] : other.notes) {
+    if (note_or(name).empty()) note(name, value);
+  }
 }
 
 std::string CorrectionReport::summary() const {
   std::ostringstream os;
   os << reads << " reads, " << reads_changed << " changed, " << bases_changed
      << " bases";
-  if (!extras.empty()) {
+  if (!extras.empty() || !notes.empty()) {
     os << ";";
     for (const auto& [name, value] : extras) os << ' ' << name << '=' << value;
+    for (const auto& [name, value] : notes) os << ' ' << name << '=' << value;
   }
   return os.str();
 }

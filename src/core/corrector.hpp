@@ -35,11 +35,15 @@ namespace ngs::core {
 /// Unified correction outcome: counters common to every method plus
 /// ordered per-method key/value extras. Reports merge by summation, so
 /// batch-local reports can be combined across threads and batches.
+/// Non-numeric provenance (e.g. the spectrum-index path a run loaded)
+/// rides along as ordered string notes; merging keeps the first value
+/// seen per key.
 struct CorrectionReport {
   std::uint64_t reads = 0;
   std::uint64_t reads_changed = 0;
   std::uint64_t bases_changed = 0;
   std::vector<std::pair<std::string, std::uint64_t>> extras;
+  std::vector<std::pair<std::string, std::string>> notes;
 
   /// Adds `delta` to the extra counter `key` (created at the end of the
   /// list on first use; insertion order is preserved for display).
@@ -47,6 +51,12 @@ struct CorrectionReport {
 
   /// Value of extra `key`, or 0 if never bumped.
   std::uint64_t extra(std::string_view key) const noexcept;
+
+  /// Sets the string note `key` (overwriting any previous value).
+  void note(std::string_view key, std::string_view value);
+
+  /// Value of note `key`, or "" if never set.
+  std::string_view note_or(std::string_view key) const noexcept;
 
   void merge(const CorrectionReport& other);
 

@@ -7,6 +7,9 @@
 #include <ostream>
 #include <stdexcept>
 
+#include <sstream>
+
+#include "index/spectrum_index.hpp"
 #include "io/fastq_stream.hpp"
 #include "io/fastx.hpp"
 #include "kspec/chunked_builder.hpp"
@@ -15,6 +18,16 @@
 #include "util/timer.hpp"
 
 namespace ngs::core {
+
+namespace {
+
+std::string checksum_hex(std::uint64_t checksum) {
+  std::ostringstream os;
+  os << "0x" << std::hex << checksum;
+  return os.str();
+}
+
+}  // namespace
 
 CorrectionPipeline::CorrectionPipeline(std::unique_ptr<Corrector> corrector,
                                        PipelineOptions options)
@@ -53,12 +66,44 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
   const std::size_t batch_size = options_.batch_size;
 
   std::vector<seq::Read> in_batch, out_batch;
+  std::uint64_t index_checksum = 0;
+  bool index_saved = false;
   if (corrector_->spectrum_k() > 0) {
     result.streamed = true;
-    // Pass 1: stream batches into the bounded-memory spectrum builder.
-    // Batch sorts and run merges run on their own pool when
-    // spectrum_threads is set, otherwise on the correction pool.
-    {
+    if (!options_.load_index_path.empty()) {
+      // Pass 1 replaced by the persisted index: mmap it, cross-check
+      // the build parameters against the corrector, and hand over the
+      // zero-copy spectrum view. The input summary comes from the index
+      // header (it was recorded from the same reads at build time), so
+      // downstream sizing — and therefore output — matches a fresh run.
+      const auto index =
+          ngs::index::SpectrumIndex::load(options_.load_index_path);
+      const auto& info = index.info();
+      if (info.build.k != corrector_->spectrum_k()) {
+        std::ostringstream os;
+        os << options_.load_index_path << ": index was built with k="
+           << info.build.k << " but method '" << corrector_->method()
+           << "' needs k=" << corrector_->spectrum_k();
+        throw std::invalid_argument(os.str());
+      }
+      if (info.build.both_strands != corrector_->spectrum_both_strands()) {
+        std::ostringstream os;
+        os << options_.load_index_path << ": index was built "
+           << (info.build.both_strands ? "with" : "without")
+           << " reverse-complement strands but method '"
+           << corrector_->method() << "' expects the opposite";
+        throw std::invalid_argument(os.str());
+      }
+      result.input.reads = info.build.input_reads;
+      result.input.bases = info.build.input_bases;
+      result.input.max_read_length = info.build.max_read_length;
+      result.pass1_skipped = true;
+      index_checksum = info.checksum;
+      corrector_->build_from_spectrum(index.share_spectrum(), result.input);
+    } else {
+      // Pass 1: stream batches into the bounded-memory spectrum builder.
+      // Batch sorts and run merges run on their own pool when
+      // spectrum_threads is set, otherwise on the correction pool.
       std::optional<util::ThreadPool> spectrum_pool;
       if (options_.spectrum_threads > 0) {
         spectrum_pool.emplace(options_.spectrum_threads);
@@ -78,7 +123,20 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
             std::max(result.peak_buffered_reads, in_batch.size());
         in_batch.clear();
       }
-      corrector_->build_from_spectrum(builder.finish(), result.input);
+      kspec::KSpectrum spectrum = builder.finish();
+      if (!options_.save_index_path.empty()) {
+        ngs::index::IndexBuildInfo build;
+        build.k = corrector_->spectrum_k();
+        build.both_strands = corrector_->spectrum_both_strands();
+        build.input_reads = result.input.reads;
+        build.input_bases = result.input.bases;
+        build.max_read_length =
+            static_cast<std::uint32_t>(result.input.max_read_length);
+        index_checksum = ngs::index::write_spectrum_index(
+            options_.save_index_path, spectrum, build);
+        index_saved = true;
+      }
+      corrector_->build_from_spectrum(std::move(spectrum), result.input);
     }
     // Pass 2: re-stream, correct each batch in parallel, write in order.
     auto is = open_input();
@@ -94,6 +152,14 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
       in_batch.clear();
     }
   } else {
+    if (!options_.load_index_path.empty() ||
+        !options_.save_index_path.empty()) {
+      throw std::invalid_argument(
+          std::string(corrector_->method()) +
+          ": phase 1 is not a pure k-spectrum, so a spectrum index cannot "
+          "replace or capture it (--load-index/--save-index apply to "
+          "streaming methods only)");
+    }
     // Buffered path: one pass to load, then batch (or whole-set) correct.
     seq::ReadSet all;
     {
@@ -137,6 +203,15 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
   // Standardized observability extras: every tool and bench reports the
   // same perf keys regardless of method.
   corrector_->annotate_report(result.report);
+  if (result.pass1_skipped) {
+    result.report.bump("pass1_skipped", 1);
+    result.report.note("index_path", options_.load_index_path);
+    result.report.note("index_checksum", checksum_hex(index_checksum));
+  } else if (index_saved) {
+    result.report.bump("index_saved", 1);
+    result.report.note("index_path", options_.save_index_path);
+    result.report.note("index_checksum", checksum_hex(index_checksum));
+  }
   if (result.pass2_seconds > 0.0) {
     result.report.bump(
         "pass2_reads_per_sec",

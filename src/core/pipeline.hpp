@@ -43,6 +43,18 @@ struct PipelineOptions {
   std::size_t spectrum_threads = 0;
   /// Kmer instances buffered per ChunkedSpectrumBuilder batch in pass 1.
   std::size_t spectrum_batch_instances = 1 << 20;
+  /// Path of a persisted spectrum index (ngs::index) to mmap instead of
+  /// building pass 1 from the reads; empty = build fresh. Only valid
+  /// for streaming methods (Corrector::spectrum_k() > 0) and only when
+  /// the index's k / strand convention match the corrector; the input
+  /// summary (reads/bases/max read length) comes from the index header,
+  /// so output is byte-identical to a fresh run over the same reads.
+  std::string load_index_path;
+  /// When non-empty, persist the freshly built pass-1 spectrum (plus
+  /// input provenance) to this path for future --load-index runs.
+  /// Streaming methods only; ignored when load_index_path is set (there
+  /// is nothing new to save).
+  std::string save_index_path;
 };
 
 struct PipelineResult {
@@ -58,6 +70,10 @@ struct PipelineResult {
   std::uint64_t peak_rss_bytes = 0;
   /// True when phase 1 ran from the streamed spectrum.
   bool streamed = false;
+  /// True when phase 1 was skipped entirely in favor of a loaded
+  /// spectrum index (report extras then carry index_path/index_checksum
+  /// /pass1_skipped provenance).
+  bool pass1_skipped = false;
   /// Wall time spent in phase-2 batch correction (excludes phase 1 and
   /// output writing); report.extra("pass2_reads_per_sec") derives from it.
   double pass2_seconds = 0.0;

@@ -1,0 +1,576 @@
+#include "index/spectrum_index.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NGS_INDEX_POSIX 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#endif
+
+namespace ngs::index {
+
+namespace {
+
+using Kind = IndexError::Kind;
+
+[[noreturn]] void fail(Kind kind, const std::string& path,
+                       const std::string& detail) {
+  throw IndexError(kind, path + ": " + detail);
+}
+
+[[noreturn]] void fail_errno(const std::string& path,
+                             const std::string& action) {
+  fail(Kind::kIo, path, action + " failed: " + std::strerror(errno));
+}
+
+const char* section_name(SectionId id) {
+  switch (id) {
+    case SectionId::kCodes: return "codes";
+    case SectionId::kCounts: return "counts";
+    case SectionId::kBucketStarts: return "bucket_starts";
+  }
+  return "unknown";
+}
+
+/// Header + section-table fingerprint: the header bytes with the
+/// checksum field zeroed, chained with the raw table rows. Because the
+/// rows embed the per-payload checksums, this value changes whenever
+/// any byte of the file changes.
+std::uint64_t meta_checksum(IndexHeader header,
+                            const std::vector<SectionEntry>& table) {
+  header.header_checksum = 0;
+  std::uint64_t state = fnv1a64(&header, sizeof(header));
+  for (const auto& entry : table) {
+    state = fnv1a64(&entry, sizeof(entry), state);
+  }
+  return state;
+}
+
+/// The backing bytes of a loaded index: an mmap (released on
+/// destruction) or an owned buffer. Shared with every KSpectrum view
+/// through the spectrum keepalive, so unmapping is deferred until the
+/// last view is gone.
+struct Mapping {
+  const unsigned char* data = nullptr;
+  std::size_t size = 0;
+  void* mmap_base = nullptr;  // non-null => munmap on destruction
+  std::vector<unsigned char> owned;
+
+  Mapping() = default;
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+  ~Mapping() {
+#if NGS_INDEX_POSIX
+    if (mmap_base != nullptr) ::munmap(mmap_base, size);
+#endif
+  }
+};
+
+#if NGS_INDEX_POSIX
+
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+void write_all(int fd, const void* data, std::size_t n,
+               const std::string& path) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n > 0) {
+    const ::ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      fail_errno(path, "write");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void read_exact_at(int fd, void* data, std::size_t n, std::uint64_t offset,
+                   const std::string& path) {
+  auto* p = static_cast<unsigned char*>(data);
+  while (n > 0) {
+    const ::ssize_t r = ::pread(fd, p, n, static_cast<::off_t>(offset));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      fail_errno(path, "read");
+    }
+    if (r == 0) fail(Kind::kTruncated, path, "unexpected end of file");
+    p += r;
+    offset += static_cast<std::uint64_t>(r);
+    n -= static_cast<std::size_t>(r);
+  }
+}
+
+/// Best-effort directory-entry durability after the rename.
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+#endif  // NGS_INDEX_POSIX
+
+struct Metadata {
+  IndexHeader header;
+  std::vector<SectionEntry> table;
+  std::uint64_t file_size = 0;
+};
+
+/// Validates everything that can be checked without touching payload
+/// pages: magic, version, endianness, declared vs actual size, table
+/// bounds, and the header checksum.
+Metadata parse_metadata(const unsigned char* head, std::size_t head_bytes,
+                        std::uint64_t file_size, const std::string& path) {
+  Metadata meta;
+  meta.file_size = file_size;
+  if (file_size < sizeof(IndexHeader) || head_bytes < sizeof(IndexHeader)) {
+    std::ostringstream os;
+    os << "truncated index: file is " << file_size
+       << " bytes, a version-" << kFormatVersion << " header needs "
+       << sizeof(IndexHeader);
+    fail(Kind::kTruncated, path, os.str());
+  }
+  std::memcpy(&meta.header, head, sizeof(IndexHeader));
+  const IndexHeader& h = meta.header;
+  if (std::memcmp(h.magic, kIndexMagic, sizeof(kIndexMagic)) != 0) {
+    fail(Kind::kBadMagic, path,
+         "bad magic — not an ngs spectrum index file");
+  }
+  if (h.format_version != kFormatVersion) {
+    std::ostringstream os;
+    os << "unsupported index format version " << h.format_version
+       << " (this build reads version " << kFormatVersion
+       << "; rebuild the index with this binary's ngs-index)";
+    fail(Kind::kVersionSkew, path, os.str());
+  }
+  if (h.endian_tag != kEndianTag) {
+    fail(Kind::kEndianMismatch, path,
+         "endianness mismatch — the index was written on a host with "
+         "different byte order");
+  }
+  if (h.header_bytes != sizeof(IndexHeader)) {
+    std::ostringstream os;
+    os << "header size mismatch (" << h.header_bytes << " declared, "
+       << sizeof(IndexHeader) << " expected)";
+    fail(Kind::kBadLayout, path, os.str());
+  }
+  if (h.file_bytes != file_size) {
+    std::ostringstream os;
+    os << "truncated index: header declares " << h.file_bytes
+       << " bytes but the file has " << file_size;
+    fail(Kind::kTruncated, path, os.str());
+  }
+  if (h.section_count > 64) {
+    std::ostringstream os;
+    os << "implausible section count " << h.section_count;
+    fail(Kind::kBadLayout, path, os.str());
+  }
+  const std::uint64_t table_end =
+      sizeof(IndexHeader) +
+      std::uint64_t{h.section_count} * sizeof(SectionEntry);
+  if (table_end > file_size) {
+    std::ostringstream os;
+    os << "truncated index: section table needs " << table_end
+       << " bytes, file has " << file_size;
+    fail(Kind::kTruncated, path, os.str());
+  }
+  if (head_bytes < table_end) {
+    fail(Kind::kIo, path, "internal error: metadata read too short");
+  }
+  meta.table.resize(h.section_count);
+  std::memcpy(meta.table.data(), head + sizeof(IndexHeader),
+              meta.table.size() * sizeof(SectionEntry));
+  const std::uint64_t expect = meta_checksum(meta.header, meta.table);
+  if (expect != h.header_checksum) {
+    std::ostringstream os;
+    os << "header checksum mismatch (stored " << std::hex
+       << h.header_checksum << ", computed " << expect
+       << ") — the metadata is corrupt";
+    fail(Kind::kChecksum, path, os.str());
+  }
+  return meta;
+}
+
+/// Bounds/shape validation of one known section against the header.
+void check_section(const SectionEntry& entry, std::uint64_t expected_bytes,
+                   const Metadata& meta, const std::string& path) {
+  const char* name = section_name(static_cast<SectionId>(entry.id));
+  if (entry.offset % kSectionAlignment != 0) {
+    std::ostringstream os;
+    os << "section '" << name << "' offset " << entry.offset << " is not "
+       << kSectionAlignment << "-byte aligned";
+    fail(Kind::kBadLayout, path, os.str());
+  }
+  if (entry.offset > meta.file_size ||
+      entry.bytes > meta.file_size - entry.offset) {
+    std::ostringstream os;
+    os << "truncated index: section '" << name << "' spans ["
+       << entry.offset << ", " << entry.offset + entry.bytes
+       << ") but the file has only " << meta.file_size << " bytes";
+    fail(Kind::kTruncated, path, os.str());
+  }
+  if (entry.bytes != expected_bytes) {
+    std::ostringstream os;
+    os << "section '" << name << "' holds " << entry.bytes
+       << " bytes where the header implies " << expected_bytes;
+    fail(Kind::kBadLayout, path, os.str());
+  }
+}
+
+const SectionEntry* find_section(const Metadata& meta, SectionId id) {
+  for (const auto& entry : meta.table) {
+    if (entry.id == static_cast<std::uint32_t>(id)) return &entry;
+  }
+  return nullptr;
+}
+
+const SectionEntry& require_section(const Metadata& meta, SectionId id,
+                                    const std::string& path) {
+  const auto* entry = find_section(meta, id);
+  if (entry == nullptr) {
+    fail(Kind::kBadLayout, path,
+         std::string("missing required section '") + section_name(id) + "'");
+  }
+  return *entry;
+}
+
+IndexInfo make_info(const Metadata& meta) {
+  IndexInfo info;
+  const IndexHeader& h = meta.header;
+  info.format_version = h.format_version;
+  info.build.k = static_cast<int>(h.k);
+  info.build.both_strands = (h.flags & kFlagBothStrands) != 0;
+  info.build.input_reads = h.input_reads;
+  info.build.input_bases = h.input_bases;
+  info.build.max_read_length = h.max_read_length;
+  info.distinct = h.distinct;
+  info.total_instances = h.total_instances;
+  info.prefix_bits = static_cast<int>(h.prefix_bits);
+  info.file_bytes = h.file_bytes;
+  info.checksum = h.header_checksum;
+  for (const auto& entry : meta.table) {
+    info.sections.push_back({static_cast<SectionId>(entry.id), entry.offset,
+                             entry.bytes, entry.checksum});
+  }
+  return info;
+}
+
+Metadata read_metadata_from_file(const std::string& path) {
+#if NGS_INDEX_POSIX
+  FdGuard fd{::open(path.c_str(), O_RDONLY)};
+  if (fd.fd < 0) fail_errno(path, "open");
+  struct ::stat st{};
+  if (::fstat(fd.fd, &st) != 0) fail_errno(path, "stat");
+  const auto file_size = static_cast<std::uint64_t>(st.st_size);
+  // One bounded read covers the header and the (validated-size) table.
+  std::vector<unsigned char> head(
+      static_cast<std::size_t>(std::min<std::uint64_t>(
+          file_size, sizeof(IndexHeader) + 64 * sizeof(SectionEntry))));
+  if (!head.empty()) read_exact_at(fd.fd, head.data(), head.size(), 0, path);
+  return parse_metadata(head.data(), head.size(), file_size, path);
+#else
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail(Kind::kIo, path, "open failed");
+  is.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0);
+  std::vector<unsigned char> head(
+      static_cast<std::size_t>(std::min<std::uint64_t>(
+          file_size, sizeof(IndexHeader) + 64 * sizeof(SectionEntry))));
+  is.read(reinterpret_cast<char*>(head.data()),
+          static_cast<std::streamsize>(head.size()));
+  if (!is) fail(Kind::kIo, path, "read failed");
+  return parse_metadata(head.data(), head.size(), file_size, path);
+#endif
+}
+
+std::shared_ptr<Mapping> map_file(const std::string& path,
+                                  std::uint64_t file_size, bool use_mmap,
+                                  bool* mapped) {
+  auto mapping = std::make_shared<Mapping>();
+  mapping->size = static_cast<std::size_t>(file_size);
+  *mapped = false;
+#if NGS_INDEX_POSIX
+  FdGuard fd{::open(path.c_str(), O_RDONLY)};
+  if (fd.fd < 0) fail_errno(path, "open");
+  if (use_mmap && file_size > 0) {
+    void* base = ::mmap(nullptr, mapping->size, PROT_READ, MAP_PRIVATE,
+                        fd.fd, 0);
+    if (base != MAP_FAILED) {
+      mapping->mmap_base = base;
+      mapping->data = static_cast<const unsigned char*>(base);
+      *mapped = true;
+      return mapping;
+    }
+    // Fall through to the owned-buffer path on any mmap failure.
+  }
+  mapping->owned.resize(mapping->size);
+  if (!mapping->owned.empty()) {
+    read_exact_at(fd.fd, mapping->owned.data(), mapping->owned.size(), 0,
+                  path);
+  }
+  mapping->data = mapping->owned.data();
+  return mapping;
+#else
+  (void)use_mmap;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail(Kind::kIo, path, "open failed");
+  mapping->owned.resize(mapping->size);
+  is.read(reinterpret_cast<char*>(mapping->owned.data()),
+          static_cast<std::streamsize>(mapping->owned.size()));
+  if (!is) fail(Kind::kIo, path, "read failed");
+  mapping->data = mapping->owned.data();
+  return mapping;
+#endif
+}
+
+}  // namespace
+
+std::uint64_t write_spectrum_index(const std::string& path,
+                                   const kspec::KSpectrum& spectrum,
+                                   const IndexBuildInfo& build) {
+  if (build.k != spectrum.k()) {
+    fail(Kind::kBadLayout, path,
+         "build info k does not match the spectrum's k");
+  }
+  const auto codes = spectrum.codes();
+  const auto counts = spectrum.counts();
+  const auto buckets = spectrum.bucket_starts();
+  const int prefix_bits = spectrum.prefix_index_bits();
+
+  std::vector<SectionEntry> table;
+  const auto add_section = [&table](SectionId id, const void* data,
+                                    std::uint64_t bytes) {
+    SectionEntry entry{};
+    entry.id = static_cast<std::uint32_t>(id);
+    entry.bytes = bytes;
+    entry.checksum = fnv1a64(data, static_cast<std::size_t>(bytes));
+    table.push_back(entry);
+  };
+  add_section(SectionId::kCodes, codes.data(), codes.size_bytes());
+  add_section(SectionId::kCounts, counts.data(), counts.size_bytes());
+  if (prefix_bits > 0) {
+    add_section(SectionId::kBucketStarts, buckets.data(),
+                buckets.size_bytes());
+  }
+  std::uint64_t offset = align_up(sizeof(IndexHeader) +
+                                  table.size() * sizeof(SectionEntry));
+  for (auto& entry : table) {
+    entry.offset = offset;
+    offset = align_up(offset + entry.bytes);
+  }
+
+  IndexHeader header{};
+  std::memcpy(header.magic, kIndexMagic, sizeof(kIndexMagic));
+  header.format_version = kFormatVersion;
+  header.header_bytes = sizeof(IndexHeader);
+  header.k = static_cast<std::uint32_t>(spectrum.k());
+  header.flags = build.both_strands ? kFlagBothStrands : 0;
+  header.distinct = spectrum.size();
+  header.total_instances = spectrum.total_instances();
+  header.prefix_bits = static_cast<std::uint32_t>(prefix_bits);
+  header.section_count = static_cast<std::uint32_t>(table.size());
+  header.input_reads = build.input_reads;
+  header.input_bases = build.input_bases;
+  header.max_read_length = build.max_read_length;
+  header.endian_tag = kEndianTag;
+  header.file_bytes = offset;
+  header.header_checksum = meta_checksum(header, table);
+
+#if NGS_INDEX_POSIX
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  FdGuard fd{::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644)};
+  if (fd.fd < 0) fail_errno(tmp, "open");
+  try {
+    static constexpr unsigned char kZeros[kSectionAlignment] = {};
+    std::uint64_t written = 0;
+    const auto emit = [&](const void* data, std::uint64_t bytes) {
+      write_all(fd.fd, data, static_cast<std::size_t>(bytes), tmp);
+      written += bytes;
+    };
+    emit(&header, sizeof(header));
+    emit(table.data(), table.size() * sizeof(SectionEntry));
+    const std::span<const unsigned char> payloads[] = {
+        {reinterpret_cast<const unsigned char*>(codes.data()),
+         codes.size_bytes()},
+        {reinterpret_cast<const unsigned char*>(counts.data()),
+         counts.size_bytes()},
+        {reinterpret_cast<const unsigned char*>(buckets.data()),
+         buckets.size_bytes()},
+    };
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      emit(kZeros, table[i].offset - written);  // alignment padding
+      emit(payloads[i].data(), payloads[i].size());
+    }
+    emit(kZeros, header.file_bytes - written);  // trailing padding
+    if (::fsync(fd.fd) != 0) fail_errno(tmp, "fsync");
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd.fd);
+  fd.fd = -1;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail_errno(path, "rename");
+  }
+  fsync_parent_dir(path);
+#else
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) fail(Kind::kIo, tmp, "open failed");
+    static constexpr char kZeros[kSectionAlignment] = {};
+    std::uint64_t written = 0;
+    const auto emit = [&](const void* data, std::uint64_t bytes) {
+      os.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(bytes));
+      written += bytes;
+    };
+    emit(&header, sizeof(header));
+    emit(table.data(), table.size() * sizeof(SectionEntry));
+    const void* payload_ptrs[] = {codes.data(), counts.data(),
+                                  buckets.data()};
+    const std::uint64_t payload_bytes[] = {
+        codes.size_bytes(), counts.size_bytes(), buckets.size_bytes()};
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      emit(kZeros, table[i].offset - written);
+      emit(payload_ptrs[i], payload_bytes[i]);
+    }
+    emit(kZeros, header.file_bytes - written);
+    if (!os) fail(Kind::kIo, tmp, "write failed");
+  }
+  std::remove(path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    fail(Kind::kIo, path, "rename failed");
+  }
+#endif
+  return header.header_checksum;
+}
+
+IndexInfo SpectrumIndex::read_info(const std::string& path) {
+  return make_info(read_metadata_from_file(path));
+}
+
+SpectrumIndex SpectrumIndex::load(const std::string& path,
+                                  const LoadOptions& options) {
+  const Metadata meta = read_metadata_from_file(path);
+  const IndexHeader& h = meta.header;
+
+  const SectionEntry& codes_sec =
+      require_section(meta, SectionId::kCodes, path);
+  const SectionEntry& counts_sec =
+      require_section(meta, SectionId::kCounts, path);
+  check_section(codes_sec, h.distinct * sizeof(seq::KmerCode), meta, path);
+  check_section(counts_sec, h.distinct * sizeof(std::uint32_t), meta, path);
+  const SectionEntry* buckets_sec = nullptr;
+  if (h.prefix_bits > 0) {
+    if (h.prefix_bits > 2 * h.k || h.prefix_bits > 63) {
+      std::ostringstream os;
+      os << "prefix_bits " << h.prefix_bits << " exceeds the 2k-bit key "
+         << "width (k=" << h.k << ")";
+      fail(Kind::kBadLayout, path, os.str());
+    }
+    buckets_sec = &require_section(meta, SectionId::kBucketStarts, path);
+    check_section(*buckets_sec,
+                  ((std::uint64_t{1} << h.prefix_bits) + 1) *
+                      sizeof(std::uint64_t),
+                  meta, path);
+  }
+
+  SpectrumIndex index;
+  index.path_ = path;
+  index.info_ = make_info(meta);
+  auto mapping =
+      map_file(path, meta.file_size, options.use_mmap, &index.info_.mapped);
+
+  if (options.verify_checksums) {
+    for (const auto& entry : meta.table) {
+      const std::uint64_t actual =
+          fnv1a64(mapping->data + entry.offset,
+                  static_cast<std::size_t>(entry.bytes));
+      if (actual != entry.checksum) {
+        std::ostringstream os;
+        os << "checksum mismatch in section '"
+           << section_name(static_cast<SectionId>(entry.id)) << "' (stored "
+           << std::hex << entry.checksum << ", computed " << actual
+           << ") — the payload is corrupt; rebuild the index";
+        fail(Kind::kChecksum, path, os.str());
+      }
+    }
+  }
+
+  const auto codes = std::span<const seq::KmerCode>(
+      reinterpret_cast<const seq::KmerCode*>(mapping->data +
+                                             codes_sec.offset),
+      static_cast<std::size_t>(h.distinct));
+  const auto counts = std::span<const std::uint32_t>(
+      reinterpret_cast<const std::uint32_t*>(mapping->data +
+                                             counts_sec.offset),
+      static_cast<std::size_t>(h.distinct));
+  std::span<const std::uint64_t> buckets;
+  if (buckets_sec != nullptr) {
+    buckets = std::span<const std::uint64_t>(
+        reinterpret_cast<const std::uint64_t*>(mapping->data +
+                                               buckets_sec->offset),
+        static_cast<std::size_t>((std::uint64_t{1} << h.prefix_bits) + 1));
+  }
+
+  if (options.validate_payload) {
+    if (const auto err = kspec::KSpectrum::validate_sorted_counts(
+            codes, counts, static_cast<int>(h.k))) {
+      fail(Kind::kInvalidPayload, path, "invalid spectrum payload: " + *err);
+    }
+    std::uint64_t total = 0;
+    for (const std::uint32_t c : counts) total += c;
+    if (total != h.total_instances) {
+      std::ostringstream os;
+      os << "invalid spectrum payload: counts sum to " << total
+         << " but the header declares " << h.total_instances
+         << " total instances";
+      fail(Kind::kInvalidPayload, path, os.str());
+    }
+    if (!buckets.empty()) {
+      // The bucket table must be a monotone partition of [0, distinct].
+      if (buckets.front() != 0 || buckets.back() != h.distinct) {
+        fail(Kind::kInvalidPayload, path,
+             "invalid spectrum payload: bucket table does not span the "
+             "code array");
+      }
+      for (std::size_t b = 1; b < buckets.size(); ++b) {
+        if (buckets[b] < buckets[b - 1]) {
+          fail(Kind::kInvalidPayload, path,
+               "invalid spectrum payload: bucket offsets not monotone");
+        }
+      }
+    }
+  }
+
+  index.spectrum_ = kspec::KSpectrum::adopt_external(
+      codes, counts, buckets, static_cast<int>(h.k), h.total_instances,
+      static_cast<int>(h.prefix_bits), std::move(mapping));
+  return index;
+}
+
+}  // namespace ngs::index

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <numeric>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "kspec/radix.hpp"
 #include "seq/alphabet.hpp"
@@ -23,6 +26,86 @@ int auto_prefix_bits(std::size_t size, int k) noexcept {
 
 }  // namespace
 
+void KSpectrum::rebind_owned() noexcept {
+  external_ = false;
+  codes_ = codes_vec_;
+  counts_ = counts_vec_;
+  bucket_starts_ = bucket_starts_vec_;
+  keepalive_.reset();
+}
+
+void KSpectrum::move_from(KSpectrum&& other) noexcept {
+  k_ = other.k_;
+  total_ = other.total_;
+  prefix_bits_ = other.prefix_bits_;
+  external_ = other.external_;
+  // Whether each view pointed at the owned vectors must be decided
+  // before the vectors move (std::vector moves preserve the buffer, but
+  // re-deriving the spans keeps this correct without relying on it).
+  const bool codes_owned = !other.external_;
+  const bool buckets_owned =
+      other.bucket_starts_.data() == other.bucket_starts_vec_.data();
+  codes_vec_ = std::move(other.codes_vec_);
+  counts_vec_ = std::move(other.counts_vec_);
+  bucket_starts_vec_ = std::move(other.bucket_starts_vec_);
+  keepalive_ = std::move(other.keepalive_);
+  codes_ = codes_owned ? std::span<const seq::KmerCode>(codes_vec_)
+                       : other.codes_;
+  counts_ = codes_owned ? std::span<const std::uint32_t>(counts_vec_)
+                        : other.counts_;
+  bucket_starts_ = buckets_owned
+                       ? std::span<const std::uint64_t>(bucket_starts_vec_)
+                       : other.bucket_starts_;
+  other.k_ = 0;
+  other.total_ = 0;
+  other.prefix_bits_ = 0;
+  other.external_ = false;
+  other.codes_ = {};
+  other.counts_ = {};
+  other.bucket_starts_ = {};
+  other.keepalive_.reset();
+}
+
+KSpectrum::KSpectrum(KSpectrum&& other) noexcept { move_from(std::move(other)); }
+
+KSpectrum& KSpectrum::operator=(KSpectrum&& other) noexcept {
+  if (this != &other) move_from(std::move(other));
+  return *this;
+}
+
+KSpectrum::KSpectrum(const KSpectrum& other) { *this = other; }
+
+KSpectrum& KSpectrum::operator=(const KSpectrum& other) {
+  if (this == &other) return *this;
+  k_ = other.k_;
+  total_ = other.total_;
+  prefix_bits_ = other.prefix_bits_;
+  external_ = other.external_;
+  if (other.external_) {
+    // Views are cheap to share: both copies alias the same external
+    // memory and co-own it through the keepalive.
+    codes_vec_.clear();
+    counts_vec_.clear();
+    codes_ = other.codes_;
+    counts_ = other.counts_;
+    keepalive_ = other.keepalive_;
+  } else {
+    codes_vec_ = other.codes_vec_;
+    counts_vec_ = other.counts_vec_;
+    codes_ = codes_vec_;
+    counts_ = counts_vec_;
+    keepalive_.reset();
+  }
+  if (other.bucket_starts_.data() == other.bucket_starts_vec_.data()) {
+    bucket_starts_vec_ = other.bucket_starts_vec_;
+    bucket_starts_ = bucket_starts_vec_;
+  } else {
+    bucket_starts_vec_.clear();
+    bucket_starts_ = other.bucket_starts_;
+  }
+  return *this;
+}
+
 KSpectrum KSpectrum::from_instances(std::vector<seq::KmerCode> instances,
                                     int k,
                                     const SpectrumBuildOptions& options) {
@@ -30,7 +113,7 @@ KSpectrum KSpectrum::from_instances(std::vector<seq::KmerCode> instances,
   s.k_ = k;
   s.total_ = instances.size();
   if (options.threads == 1) {
-    serial_sort_and_count(std::move(instances), s.codes_, s.counts_);
+    serial_sort_and_count(std::move(instances), s.codes_vec_, s.counts_vec_);
   } else {
     std::optional<util::ThreadPool> own_pool;
     RadixSortOptions radix;
@@ -41,8 +124,10 @@ KSpectrum KSpectrum::from_instances(std::vector<seq::KmerCode> instances,
       own_pool.emplace(options.threads);
       radix.pool = &*own_pool;
     }  // else nullptr -> util::default_pool()
-    radix_sort_and_count(std::move(instances), k, s.codes_, s.counts_, radix);
+    radix_sort_and_count(std::move(instances), k, s.codes_vec_, s.counts_vec_,
+                         radix);
   }
+  s.rebind_owned();
   s.rebuild_prefix_index(options.prefix_index_bits);
   return s;
 }
@@ -52,23 +137,78 @@ KSpectrum KSpectrum::from_codes(std::vector<seq::KmerCode> codes, int k,
   return from_instances(std::move(codes), k, options);
 }
 
+std::optional<std::string> KSpectrum::validate_sorted_counts(
+    std::span<const seq::KmerCode> codes, std::span<const std::uint32_t> counts,
+    int k) {
+  const auto fail = [](std::size_t i, const char* what) {
+    std::ostringstream os;
+    os << what << " at index " << i;
+    return os.str();
+  };
+  if (codes.size() != counts.size()) {
+    std::ostringstream os;
+    os << "codes/counts size mismatch (" << codes.size() << " vs "
+       << counts.size() << ")";
+    return os.str();
+  }
+  const seq::KmerCode max_code =
+      k >= seq::kMaxK ? ~seq::KmerCode{0}
+                      : (seq::KmerCode{1} << (2 * k)) - 1;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] > max_code) return fail(i, "code exceeds 2k-bit range");
+    if (counts[i] == 0) return fail(i, "zero count");
+    if (i > 0 && !(codes[i - 1] < codes[i])) {
+      return fail(i, "codes not strictly ascending");
+    }
+  }
+  return std::nullopt;
+}
+
 KSpectrum KSpectrum::from_sorted_counts(std::vector<seq::KmerCode> codes,
                                         std::vector<std::uint32_t> counts,
                                         int k, int prefix_index_bits) {
   if (codes.size() != counts.size()) {
     throw std::invalid_argument("from_sorted_counts: size mismatch");
   }
+#ifndef NDEBUG
+  if (const auto err = validate_sorted_counts(codes, counts, k)) {
+    throw std::invalid_argument("from_sorted_counts: " + *err);
+  }
+#endif
   KSpectrum s;
   s.k_ = k;
-  s.codes_ = std::move(codes);
-  s.counts_ = std::move(counts);
-  for (std::size_t i = 0; i < s.codes_.size(); ++i) {
-    if (i > 0 && !(s.codes_[i - 1] < s.codes_[i])) {
-      throw std::invalid_argument("from_sorted_counts: codes not ascending");
-    }
-    s.total_ += s.counts_[i];
-  }
+  s.codes_vec_ = std::move(codes);
+  s.counts_vec_ = std::move(counts);
+  s.total_ = std::accumulate(s.counts_vec_.begin(), s.counts_vec_.end(),
+                             std::uint64_t{0});
+  s.rebind_owned();
   s.rebuild_prefix_index(prefix_index_bits);
+  return s;
+}
+
+KSpectrum KSpectrum::adopt_external(std::span<const seq::KmerCode> codes,
+                                    std::span<const std::uint32_t> counts,
+                                    std::span<const std::uint64_t> bucket_starts,
+                                    int k, std::uint64_t total, int prefix_bits,
+                                    std::shared_ptr<const void> keepalive) {
+  if (codes.size() != counts.size()) {
+    throw std::invalid_argument("adopt_external: size mismatch");
+  }
+  if (prefix_bits > 0 &&
+      bucket_starts.size() != (std::size_t{1} << prefix_bits) + 1) {
+    throw std::invalid_argument(
+        "adopt_external: bucket table size does not match prefix_bits");
+  }
+  KSpectrum s;
+  s.k_ = k;
+  s.total_ = total;
+  s.external_ = true;
+  s.codes_ = codes;
+  s.counts_ = counts;
+  s.bucket_starts_ = prefix_bits > 0 ? bucket_starts
+                                     : std::span<const std::uint64_t>{};
+  s.prefix_bits_ = prefix_bits > 0 ? prefix_bits : 0;
+  s.keepalive_ = std::move(keepalive);
   return s;
 }
 
@@ -114,20 +254,22 @@ void KSpectrum::rebuild_prefix_index(int prefix_index_bits) {
                        : std::min({prefix_index_bits, 2 * k_, 24});
   if (bits <= 0 || codes_.empty()) {
     prefix_bits_ = 0;
-    bucket_starts_.clear();
-    bucket_starts_.shrink_to_fit();
+    bucket_starts_vec_.clear();
+    bucket_starts_vec_.shrink_to_fit();
+    bucket_starts_ = {};
     return;
   }
   prefix_bits_ = bits;
   const int shift = 2 * k_ - bits;
   const std::size_t buckets = std::size_t{1} << bits;
-  bucket_starts_.assign(buckets + 1, 0);
+  bucket_starts_vec_.assign(buckets + 1, 0);
   for (const seq::KmerCode code : codes_) {
-    ++bucket_starts_[(code >> shift) + 1];
+    ++bucket_starts_vec_[(code >> shift) + 1];
   }
   for (std::size_t b = 1; b <= buckets; ++b) {
-    bucket_starts_[b] += bucket_starts_[b - 1];
+    bucket_starts_vec_[b] += bucket_starts_vec_[b - 1];
   }
+  bucket_starts_ = bucket_starts_vec_;
 }
 
 std::int64_t KSpectrum::index_of(seq::KmerCode code) const noexcept {

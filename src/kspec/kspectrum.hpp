@@ -14,10 +14,20 @@
 // binary search over a few cache lines instead of log2(|R^k|) scattered
 // probes — every corrector, eval::kmer_classification, and
 // assembly::debruijn inherit the speedup through contains()/count().
+//
+// Storage is view-based: the code/count/bucket arrays are accessed
+// through spans that normally point into vectors the spectrum owns, but
+// can instead be bound to externally owned memory via adopt_external —
+// the zero-copy path index::SpectrumIndex uses to serve a spectrum
+// straight out of mmap'ed pages. An optional keepalive handle travels
+// with the spectrum (through moves and copies) so the backing mapping
+// outlives every accessor.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "seq/kmer.hpp"
@@ -49,6 +59,13 @@ struct SpectrumBuildOptions {
 class KSpectrum {
  public:
   KSpectrum() = default;
+  // Copy and move preserve the storage mode: owned spectra deep-copy
+  // their vectors; external views copy cheaply (span + shared keepalive).
+  KSpectrum(const KSpectrum& other);
+  KSpectrum& operator=(const KSpectrum& other);
+  KSpectrum(KSpectrum&& other) noexcept;
+  KSpectrum& operator=(KSpectrum&& other) noexcept;
+  ~KSpectrum() = default;
 
   /// Builds the k-spectrum of `reads`. If both_strands, every read's
   /// reverse complement contributes as well. Windows with ambiguous
@@ -68,11 +85,44 @@ class KSpectrum {
                               const SpectrumBuildOptions& options = {});
 
   /// Builds from pre-aggregated sorted (code, count) arrays (used by the
-  /// bounded-memory ChunkedSpectrumBuilder). Codes must be strictly
-  /// ascending; counts parallel and positive.
+  /// bounded-memory ChunkedSpectrumBuilder). Precondition: codes are
+  /// strictly ascending and in 2k-bit range, counts parallel and
+  /// positive. A size mismatch always throws std::invalid_argument; the
+  /// O(n) precondition scan runs only in debug builds (NDEBUG off) —
+  /// release callers on the hot path are trusted, and out-of-band
+  /// sources (the index loader's verify path) check explicitly through
+  /// validate_sorted_counts().
   static KSpectrum from_sorted_counts(std::vector<seq::KmerCode> codes,
                                       std::vector<std::uint32_t> counts,
                                       int k, int prefix_index_bits = -1);
+
+  /// Checks the from_sorted_counts precondition over arbitrary arrays:
+  /// equal lengths, strictly ascending codes, every code within 2k bits,
+  /// every count positive. Returns a human-readable description of the
+  /// first violation, or nullopt when the arrays are a valid spectrum.
+  /// index::SpectrumIndex runs this over the mapped payload on `verify`.
+  static std::optional<std::string> validate_sorted_counts(
+      std::span<const seq::KmerCode> codes,
+      std::span<const std::uint32_t> counts, int k);
+
+  /// Zero-copy view over externally owned arrays (an mmap'ed
+  /// index::SpectrumIndex payload, an arena, ...). `bucket_starts` is
+  /// the prefix-bucket offset table for `prefix_bits` (pass empty + 0 to
+  /// run without one; rebuild_prefix_index can add an owned one later).
+  /// `total` is the instance count (sum of counts). `keepalive` is
+  /// retained for the lifetime of the spectrum and every copy of it, so
+  /// the backing memory cannot be unmapped while reachable. The caller
+  /// is responsible for the arrays actually satisfying the
+  /// from_sorted_counts precondition (see validate_sorted_counts).
+  static KSpectrum adopt_external(std::span<const seq::KmerCode> codes,
+                                  std::span<const std::uint32_t> counts,
+                                  std::span<const std::uint64_t> bucket_starts,
+                                  int k, std::uint64_t total, int prefix_bits,
+                                  std::shared_ptr<const void> keepalive = {});
+
+  /// True when the code/count arrays live in memory this spectrum does
+  /// not own (adopt_external).
+  bool external() const noexcept { return external_; }
 
   int k() const noexcept { return k_; }
   std::size_t size() const noexcept { return codes_.size(); }
@@ -98,7 +148,8 @@ class KSpectrum {
   /// (Re)builds the prefix-bucket lookup table: 2^bits offsets into the
   /// sorted array, one per top-bits key prefix. -1 = auto width from the
   /// spectrum size, 0 = drop the index. Purely an accessor structure —
-  /// never changes lookup results.
+  /// never changes lookup results. Valid on external spectra too (the
+  /// rebuilt table is owned; the code/count views are untouched).
   void rebuild_prefix_index(int prefix_index_bits = -1);
 
   /// Width of the active prefix index (0 = disabled).
@@ -115,16 +166,37 @@ class KSpectrum {
   std::span<const seq::KmerCode> codes() const noexcept { return codes_; }
   std::span<const std::uint32_t> counts() const noexcept { return counts_; }
 
+  /// The prefix-bucket offset table (2^prefix_index_bits + 1 entries;
+  /// empty when the index is disabled). index::write_spectrum_index
+  /// persists it so a loaded spectrum looks up at full speed without a
+  /// rebuild pass.
+  std::span<const std::uint64_t> bucket_starts() const noexcept {
+    return bucket_starts_;
+  }
+
  private:
   static KSpectrum from_instances(std::vector<seq::KmerCode> instances, int k,
                                   const SpectrumBuildOptions& options);
 
+  /// Points the code/count views at the owned vectors (after they were
+  /// filled or moved).
+  void rebind_owned() noexcept;
+  void move_from(KSpectrum&& other) noexcept;
+
   int k_ = 0;
   std::uint64_t total_ = 0;
-  std::vector<seq::KmerCode> codes_;    // sorted ascending, unique
-  std::vector<std::uint32_t> counts_;   // parallel multiplicities
-  int prefix_bits_ = 0;                 // 0 = no prefix index
-  std::vector<std::uint64_t> bucket_starts_;  // 2^prefix_bits_ + 1 offsets
+  bool external_ = false;  // codes_/counts_ view memory we do not own
+  // Owned storage; empty on the external path (bucket_starts_vec_ may
+  // still be populated by rebuild_prefix_index on an external spectrum).
+  std::vector<seq::KmerCode> codes_vec_;
+  std::vector<std::uint32_t> counts_vec_;
+  std::vector<std::uint64_t> bucket_starts_vec_;
+  // Active views: into the owned vectors or into external memory.
+  std::span<const seq::KmerCode> codes_;     // sorted ascending, unique
+  std::span<const std::uint32_t> counts_;    // parallel multiplicities
+  std::span<const std::uint64_t> bucket_starts_;  // 2^prefix_bits_ + 1
+  int prefix_bits_ = 0;  // 0 = no prefix index
+  std::shared_ptr<const void> keepalive_;  // owner of external memory
 };
 
 }  // namespace ngs::kspec

@@ -111,10 +111,19 @@ TEST(ChunkedBuilder, EmptyInput) {
 }
 
 TEST(KSpectrum, FromSortedCountsValidates) {
+  // Size mismatch throws in every build mode; the O(n) order/count scan
+  // is debug-only, so out-of-order codes are asserted through the
+  // always-available validate_sorted_counts entry point instead.
   EXPECT_THROW(kspec::KSpectrum::from_sorted_counts({1, 2}, {1}, 8),
                std::invalid_argument);
+  const std::vector<seq::KmerCode> unsorted{2, 1};
+  const std::vector<std::uint32_t> ones{1, 1};
+  EXPECT_TRUE(
+      kspec::KSpectrum::validate_sorted_counts(unsorted, ones, 8).has_value());
+#ifndef NDEBUG
   EXPECT_THROW(kspec::KSpectrum::from_sorted_counts({2, 1}, {1, 1}, 8),
                std::invalid_argument);
+#endif
   const auto s = kspec::KSpectrum::from_sorted_counts({5, 9}, {3, 4}, 8);
   EXPECT_EQ(s.count(5), 3u);
   EXPECT_EQ(s.total_instances(), 7u);

@@ -1,0 +1,439 @@
+// Tests for ngs::index — the persistent mmap-able spectrum index:
+// round-trip fidelity across k widths and degenerate spectra, loader
+// hardening against corrupt/truncated files (distinct IndexError kinds,
+// never UB on a short file), and the pipeline-level guarantee that a
+// --load-index run produces byte-identical output to a fresh pass-1
+// build over the same reads.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/registry.hpp"
+#include "index/format.hpp"
+#include "index/spectrum_index.hpp"
+#include "io/fastx.hpp"
+#include "kspec/kspectrum.hpp"
+#include "sim/genome.hpp"
+#include "sim/read_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ngs;
+using Kind = index::IndexError::Kind;
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "ngs_index_test_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(os.good()) << path;
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A deterministic random spectrum: `n` strictly ascending codes within
+/// the 2k-bit space with positive counts.
+kspec::KSpectrum random_spectrum(int k, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const seq::KmerCode mask =
+      k == 32 ? ~seq::KmerCode{0} : (seq::KmerCode{1} << (2 * k)) - 1;
+  std::vector<seq::KmerCode> codes;
+  std::vector<std::uint32_t> counts;
+  seq::KmerCode next = 0;
+  while (codes.size() < n) {
+    next += 1 + rng.below(257);
+    if (next > mask) break;
+    codes.push_back(next);
+    counts.push_back(1 + static_cast<std::uint32_t>(rng.below(100)));
+  }
+  return kspec::KSpectrum::from_sorted_counts(std::move(codes),
+                                              std::move(counts), k);
+}
+
+index::IndexBuildInfo build_info_for(const kspec::KSpectrum& spectrum) {
+  index::IndexBuildInfo build;
+  build.k = spectrum.k();
+  build.both_strands = true;
+  build.input_reads = 100;
+  build.input_bases = 3600;
+  build.max_read_length = 36;
+  return build;
+}
+
+void expect_same_spectrum(const kspec::KSpectrum& loaded,
+                          const kspec::KSpectrum& built) {
+  ASSERT_EQ(loaded.k(), built.k());
+  ASSERT_EQ(loaded.size(), built.size());
+  EXPECT_EQ(loaded.total_instances(), built.total_instances());
+  EXPECT_EQ(loaded.prefix_index_bits(), built.prefix_index_bits());
+  for (std::size_t i = 0; i < built.size(); ++i) {
+    ASSERT_EQ(loaded.code_at(i), built.code_at(i)) << "code " << i;
+    ASSERT_EQ(loaded.count_at(i), built.count_at(i)) << "count " << i;
+  }
+  const auto lb = loaded.bucket_starts();
+  const auto bb = built.bucket_starts();
+  ASSERT_EQ(lb.size(), bb.size());
+  for (std::size_t i = 0; i < bb.size(); ++i) {
+    ASSERT_EQ(lb[i], bb[i]) << "bucket " << i;
+  }
+}
+
+Kind load_failure_kind(const std::string& path,
+                       const index::LoadOptions& options = {}) {
+  try {
+    (void)index::SpectrumIndex::load(path, options);
+  } catch (const index::IndexError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error message should name the file: " << e.what();
+    return e.kind();
+  }
+  ADD_FAILURE() << "load of " << path << " unexpectedly succeeded";
+  return Kind::kIo;
+}
+
+TEST(SpectrumIndex, RoundTripAcrossKWidths) {
+  for (const int k : {8, 16, 24, 31}) {
+    const auto built = random_spectrum(k, 5000, 1000 + k);
+    ASSERT_GT(built.size(), 0u);
+    const std::string path = temp_path("roundtrip_k" + std::to_string(k));
+    const std::uint64_t checksum =
+        index::write_spectrum_index(path, built, build_info_for(built));
+    EXPECT_NE(checksum, 0u);
+
+    const auto loaded = index::SpectrumIndex::load(path);
+    EXPECT_EQ(loaded.info().checksum, checksum);
+    EXPECT_EQ(loaded.info().build.k, k);
+    EXPECT_TRUE(loaded.info().build.both_strands);
+    EXPECT_EQ(loaded.info().build.input_reads, 100u);
+    EXPECT_EQ(loaded.info().build.max_read_length, 36u);
+    expect_same_spectrum(loaded.spectrum(), built);
+
+    // Random hit/miss queries answer identically through the loaded view.
+    util::Rng rng(7 * k);
+    const seq::KmerCode mask =
+        (seq::KmerCode{1} << (2 * k)) - 1;
+    for (int q = 0; q < 2000; ++q) {
+      const seq::KmerCode code = (q % 2 == 0)
+                                     ? built.code_at(rng.below(built.size()))
+                                     : (rng() & mask);
+      ASSERT_EQ(loaded.spectrum().index_of(code), built.index_of(code));
+      ASSERT_EQ(loaded.spectrum().count(code), built.count(code));
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SpectrumIndex, RoundTripEmptyAndSingleton) {
+  const auto empty = kspec::KSpectrum::from_sorted_counts({}, {}, 12);
+  const std::string empty_path = temp_path("empty");
+  index::write_spectrum_index(empty_path, empty, build_info_for(empty));
+  const auto loaded_empty = index::SpectrumIndex::load(empty_path);
+  EXPECT_EQ(loaded_empty.spectrum().size(), 0u);
+  EXPECT_EQ(loaded_empty.spectrum().total_instances(), 0u);
+  EXPECT_FALSE(loaded_empty.spectrum().contains(0));
+  std::remove(empty_path.c_str());
+
+  const auto one = kspec::KSpectrum::from_sorted_counts({42}, {7}, 12);
+  const std::string one_path = temp_path("singleton");
+  index::write_spectrum_index(one_path, one, build_info_for(one));
+  const auto loaded_one = index::SpectrumIndex::load(one_path);
+  expect_same_spectrum(loaded_one.spectrum(), one);
+  EXPECT_EQ(loaded_one.spectrum().count(42), 7u);
+  EXPECT_EQ(loaded_one.spectrum().count(41), 0u);
+  std::remove(one_path.c_str());
+}
+
+TEST(SpectrumIndex, OwnedBufferFallbackMatchesMmap) {
+  const auto built = random_spectrum(16, 3000, 99);
+  const std::string path = temp_path("owned");
+  index::write_spectrum_index(path, built, build_info_for(built));
+
+  index::LoadOptions owned;
+  owned.use_mmap = false;
+  const auto via_read = index::SpectrumIndex::load(path, owned);
+  EXPECT_FALSE(via_read.info().mapped);
+  expect_same_spectrum(via_read.spectrum(), built);
+
+  const auto via_mmap = index::SpectrumIndex::load(path);
+  expect_same_spectrum(via_mmap.spectrum(), via_read.spectrum());
+  std::remove(path.c_str());
+}
+
+TEST(SpectrumIndex, SharedSpectrumOutlivesIndexObject) {
+  const auto built = random_spectrum(16, 2000, 5);
+  const std::string path = temp_path("keepalive");
+  index::write_spectrum_index(path, built, build_info_for(built));
+
+  kspec::KSpectrum view;
+  {
+    const auto loaded = index::SpectrumIndex::load(path);
+    view = loaded.share_spectrum();
+    EXPECT_TRUE(view.external());
+  }  // mapping must stay alive through the keepalive handle
+  expect_same_spectrum(view, built);
+  std::remove(path.c_str());
+}
+
+TEST(SpectrumIndex, RejectsMissingAndTruncatedFiles) {
+  EXPECT_EQ(load_failure_kind(temp_path("does_not_exist")), Kind::kIo);
+
+  const auto built = random_spectrum(16, 1000, 3);
+  const std::string path = temp_path("truncated");
+  index::write_spectrum_index(path, built, build_info_for(built));
+  const std::string valid = slurp(path);
+
+  // Shorter than the fixed header: rejected before any field is read.
+  spew(path, valid.substr(0, 64));
+  EXPECT_EQ(load_failure_kind(path), Kind::kTruncated);
+  // Metadata intact but payload cut short: the recorded file_bytes no
+  // longer matches reality.
+  spew(path, valid.substr(0, valid.size() - 128));
+  EXPECT_EQ(load_failure_kind(path), Kind::kTruncated);
+  // Empty file.
+  spew(path, "");
+  EXPECT_EQ(load_failure_kind(path), Kind::kTruncated);
+  std::remove(path.c_str());
+}
+
+TEST(SpectrumIndex, RejectsBadMagicVersionSkewAndHeaderCorruption) {
+  const auto built = random_spectrum(16, 1000, 4);
+  const std::string path = temp_path("corrupt_header");
+  index::write_spectrum_index(path, built, build_info_for(built));
+  const std::string valid = slurp(path);
+
+  std::string bad = valid;
+  bad[0] ^= 0x40;  // magic
+  spew(path, bad);
+  EXPECT_EQ(load_failure_kind(path), Kind::kBadMagic);
+
+  bad = valid;
+  bad[8] = 0x7f;  // format_version (first field after the 8-byte magic)
+  spew(path, bad);
+  EXPECT_EQ(load_failure_kind(path), Kind::kVersionSkew);
+
+  bad = valid;
+  bad[100] ^= 0x01;  // inside the header's reserved tail
+  spew(path, bad);
+  EXPECT_EQ(load_failure_kind(path), Kind::kChecksum);
+
+  spew(path, valid);
+  EXPECT_NO_THROW((void)index::SpectrumIndex::load(path));
+  std::remove(path.c_str());
+}
+
+TEST(SpectrumIndex, PayloadBitFlipCaughtByVerify) {
+  const auto built = random_spectrum(16, 1000, 6);
+  const std::string path = temp_path("corrupt_payload");
+  index::write_spectrum_index(path, built, build_info_for(built));
+  const std::string valid = slurp(path);
+  const auto info = index::SpectrumIndex::read_info(path);
+  ASSERT_FALSE(info.sections.empty());
+
+  index::LoadOptions verify;
+  verify.verify_checksums = true;
+  verify.validate_payload = true;
+
+  // A flipped bit inside each payload section escapes the structural
+  // (header-only) checks but must never survive a verifying load.
+  for (const auto& section : info.sections) {
+    std::string bad = valid;
+    bad[section.offset + section.bytes / 2] ^= 0x10;
+    spew(path, bad);
+    EXPECT_NO_THROW((void)index::SpectrumIndex::read_info(path));
+    EXPECT_EQ(load_failure_kind(path, verify), Kind::kChecksum);
+  }
+
+  // Every bit flip across the header + section table is also caught.
+  const std::size_t meta_bytes =
+      sizeof(index::IndexHeader) +
+      info.sections.size() * sizeof(index::SectionEntry);
+  for (std::size_t off = 0; off < meta_bytes; ++off) {
+    std::string bad = valid;
+    bad[off] ^= 0x04;
+    spew(path, bad);
+    EXPECT_THROW((void)index::SpectrumIndex::load(path, verify),
+                 index::IndexError)
+        << "metadata flip at byte " << off << " was not detected";
+  }
+
+  spew(path, valid);
+  EXPECT_NO_THROW((void)index::SpectrumIndex::load(path, verify));
+  std::remove(path.c_str());
+}
+
+TEST(KSpectrum, ValidateSortedCountsFindsEachViolation) {
+  using kspec::KSpectrum;
+  EXPECT_FALSE(KSpectrum::validate_sorted_counts({}, {}, 8).has_value());
+  std::vector<seq::KmerCode> codes{3, 9, 20};
+  std::vector<std::uint32_t> counts{1, 2, 3};
+  EXPECT_FALSE(KSpectrum::validate_sorted_counts(codes, counts, 8).has_value());
+
+  const std::vector<std::uint32_t> short_counts{1, 2};
+  EXPECT_TRUE(
+      KSpectrum::validate_sorted_counts(codes, short_counts, 8).has_value());
+
+  const std::vector<seq::KmerCode> unsorted{9, 3, 20};
+  EXPECT_TRUE(
+      KSpectrum::validate_sorted_counts(unsorted, counts, 8).has_value());
+
+  const std::vector<seq::KmerCode> duplicated{3, 3, 20};
+  EXPECT_TRUE(
+      KSpectrum::validate_sorted_counts(duplicated, counts, 8).has_value());
+
+  const std::vector<std::uint32_t> zero_count{1, 0, 3};
+  EXPECT_TRUE(
+      KSpectrum::validate_sorted_counts(codes, zero_count, 8).has_value());
+
+  // Code wider than 2k bits (k=2 -> 4-bit space, 20 needs 5).
+  EXPECT_TRUE(
+      KSpectrum::validate_sorted_counts(codes, counts, 2).has_value());
+}
+
+// --- Pipeline integration ---------------------------------------------
+
+sim::SimulatedReads make_run(std::uint64_t seed, double coverage = 25.0) {
+  util::Rng rng(seed);
+  sim::GenomeSpec gspec;
+  gspec.length = 20000;
+  const auto genome = sim::simulate_genome(gspec, rng);
+  const auto model = sim::ErrorModel::illumina(36, 0.01);
+  sim::ReadSimConfig cfg;
+  cfg.read_length = 36;
+  cfg.coverage = coverage;
+  return sim::simulate_reads(genome.sequence, model, cfg, rng);
+}
+
+std::string to_fastq(const seq::ReadSet& reads) {
+  std::ostringstream os;
+  io::write_fastq(os, reads);
+  return os.str();
+}
+
+core::CorrectionPipeline::StreamFactory factory_for(std::string fastq) {
+  return [fastq = std::move(fastq)] {
+    return std::make_unique<std::istringstream>(fastq);
+  };
+}
+
+std::unique_ptr<core::Corrector> make_method(const std::string& name) {
+  core::CorrectorConfig config;
+  config.genome_length = 20000;
+  config.error_rate = 0.01;
+  return core::make_corrector(name, config);
+}
+
+TEST(CorrectionPipeline, LoadIndexReproducesFreshRunByteForByte) {
+  const auto run = make_run(20260806);
+  const std::string fastq = to_fastq(run.reads);
+  const std::string index_path = temp_path("pipeline_index");
+
+  // redeem sizes its matrices from the InputSummary, so identical output
+  // additionally proves the summary persisted in the index header.
+  for (const std::string method : {"sap", "redeem"}) {
+    core::PipelineOptions plain_opts;
+    std::ostringstream plain_out;
+    core::CorrectionPipeline plain(make_method(method), plain_opts);
+    const auto plain_result = plain.run(factory_for(fastq), plain_out);
+    EXPECT_TRUE(plain_result.streamed);
+    EXPECT_FALSE(plain_result.pass1_skipped);
+    EXPECT_EQ(plain_result.report.extra("index_saved"), 0u);
+
+    core::PipelineOptions save_opts;
+    save_opts.save_index_path = index_path;
+    std::ostringstream save_out;
+    core::CorrectionPipeline saver(make_method(method), save_opts);
+    const auto save_result = saver.run(factory_for(fastq), save_out);
+    EXPECT_FALSE(save_result.pass1_skipped);
+    EXPECT_EQ(save_result.report.extra("index_saved"), 1u);
+    EXPECT_EQ(save_result.report.note_or("index_path"), index_path);
+    EXPECT_FALSE(save_result.report.note_or("index_checksum").empty());
+
+    core::PipelineOptions load_opts;
+    load_opts.load_index_path = index_path;
+    std::ostringstream load_out;
+    core::CorrectionPipeline loader(make_method(method), load_opts);
+    const auto load_result = loader.run(factory_for(fastq), load_out);
+    EXPECT_TRUE(load_result.pass1_skipped);
+    EXPECT_EQ(load_result.report.extra("pass1_skipped"), 1u);
+    EXPECT_EQ(load_result.report.note_or("index_path"), index_path);
+    EXPECT_EQ(load_result.report.note_or("index_checksum"),
+              save_result.report.note_or("index_checksum"));
+    // The loaded run never saw the reads in pass 1; the summary must
+    // come from the index header and match the fresh run exactly.
+    EXPECT_EQ(load_result.input.reads, plain_result.input.reads);
+    EXPECT_EQ(load_result.input.bases, plain_result.input.bases);
+    EXPECT_EQ(load_result.input.max_read_length,
+              plain_result.input.max_read_length);
+
+    EXPECT_EQ(save_out.str(), plain_out.str()) << method;
+    EXPECT_EQ(load_out.str(), plain_out.str()) << method;
+    std::remove(index_path.c_str());
+  }
+}
+
+TEST(CorrectionPipeline, LoadIndexRejectsParameterMismatch) {
+  const auto run = make_run(77, 10.0);
+  const std::string fastq = to_fastq(run.reads);
+
+  auto sap = make_method("sap");
+  const int needed_k = sap->spectrum_k();
+  ASSERT_GT(needed_k, 0);
+
+  // An index built at a different k: cross-check must fail fast.
+  const auto wrong = kspec::KSpectrum::build(run.reads, needed_k + 1, true);
+  index::IndexBuildInfo build;
+  build.k = needed_k + 1;
+  build.both_strands = true;
+  const std::string path = temp_path("mismatch_k");
+  index::write_spectrum_index(path, wrong, build);
+
+  core::PipelineOptions opts;
+  opts.load_index_path = path;
+  core::CorrectionPipeline pipeline(std::move(sap), opts);
+  std::ostringstream out;
+  EXPECT_THROW(pipeline.run(factory_for(fastq), out), std::invalid_argument);
+
+  // Same k, opposite strand convention.
+  const auto same_k = kspec::KSpectrum::build(run.reads, needed_k, true);
+  build.k = needed_k;
+  build.both_strands = false;
+  index::write_spectrum_index(path, same_k, build);
+  core::CorrectionPipeline pipeline2(make_method("sap"), opts);
+  EXPECT_THROW(pipeline2.run(factory_for(fastq), out), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CorrectionPipeline, BufferedMethodsRejectIndexFlags) {
+  const auto run = make_run(55, 10.0);
+  const std::string fastq = to_fastq(run.reads);
+  const std::string path = temp_path("buffered_reject");
+
+  core::PipelineOptions load_opts;
+  load_opts.load_index_path = path;
+  core::CorrectionPipeline loading(make_method("reptile"), load_opts);
+  std::ostringstream out;
+  EXPECT_THROW(loading.run(factory_for(fastq), out), std::invalid_argument);
+
+  core::PipelineOptions save_opts;
+  save_opts.save_index_path = path;
+  core::CorrectionPipeline saving(make_method("reptile"), save_opts);
+  EXPECT_THROW(saving.run(factory_for(fastq), out), std::invalid_argument);
+}
+
+}  // namespace

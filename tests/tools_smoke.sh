@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the command-line tools: simulate a small run,
-# correct it with two methods, cluster a FASTA, and sanity-check outputs.
+# correct it with two methods, cluster a FASTA, round-trip a persistent
+# spectrum index through ngs_index and ngs_correct, and sanity-check
+# outputs.
 set -euo pipefail
 
 BIN_DIR="$1"
@@ -48,5 +50,37 @@ if "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" --method bogus \
   echo "expected failure for bogus method" >&2
   exit 1
 fi
+
+# Persistent spectrum index: build/info/verify round-trip.
+"$BIN_DIR/ngs_index" build --in "$WORK/reads.fastq" \
+  --out "$WORK/spectrum.ngsx" --k 12 --both-strands 1 --threads 2
+test -s "$WORK/spectrum.ngsx"
+"$BIN_DIR/ngs_index" info --index "$WORK/spectrum.ngsx" \
+  | grep -q "k: 12"
+"$BIN_DIR/ngs_index" verify --index "$WORK/spectrum.ngsx"
+
+# A corrupted copy must fail verification (and only verification hits
+# the payload pages, so flip a byte deep inside the file).
+cp "$WORK/spectrum.ngsx" "$WORK/corrupt.ngsx"
+printf '\xff' | dd of="$WORK/corrupt.ngsx" bs=1 seek=300 count=1 \
+  conv=notrunc status=none
+if "$BIN_DIR/ngs_index" verify --index "$WORK/corrupt.ngsx" \
+     >/dev/null 2>&1; then
+  echo "expected verify failure for corrupted index" >&2
+  exit 1
+fi
+
+# Build-once/correct-many: --save-index then --load-index must produce
+# byte-identical corrected output (sap uses the k=12 spectrum).
+"$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+  --out "$WORK/corrected_saved.fastq" --method sap --genome-length 20000 \
+  --threads 2 --batch-size 1000 --save-index "$WORK/sap.ngsx"
+test -s "$WORK/sap.ngsx"
+"$BIN_DIR/ngs_index" verify --index "$WORK/sap.ngsx"
+"$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+  --out "$WORK/corrected_loaded.fastq" --method sap --genome-length 20000 \
+  --threads 2 --batch-size 1000 --load-index "$WORK/sap.ngsx"
+cmp "$WORK/corrected_saved.fastq" "$WORK/corrected_loaded.fastq"
+cmp "$WORK/corrected_saved.fastq" "$WORK/corrected_sap.fastq"
 
 echo "tools smoke test passed"

@@ -45,6 +45,14 @@ int main(int argc, char** argv) {
                  "shared pass-2 tile-decision cache budget in MiB "
                  "(0 = disable memoization)",
                  true, "32");
+  cli.add_option("load-index",
+                 "mmap a persisted spectrum index (see ngs-index) instead "
+                 "of building pass 1 (streaming methods only)",
+                 true, "");
+  cli.add_option("save-index",
+                 "persist the pass-1 spectrum to this path for future "
+                 "--load-index runs (streaming methods only)",
+                 true, "");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage();
     return 2;
@@ -85,6 +93,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("spectrum-threads", 0));
   options.batch_size =
       static_cast<std::size_t>(cli.get_int("batch-size", 4096));
+  options.load_index_path = cli.get("load-index");
+  options.save_index_path = cli.get("save-index");
   core::CorrectionPipeline pipeline(std::move(corrector), options);
 
   util::Timer timer;
@@ -98,6 +108,18 @@ int main(int argc, char** argv) {
   std::cerr << "method=" << method_name
             << (result.streamed ? " (streamed spectrum)" : " (buffered)")
             << ": " << result.report.summary() << "\n";
+  // Index provenance, formatted like the tile-cache extras below: one
+  // stderr line keyed off the standardized report extras.
+  if (result.report.extra("pass1_skipped") +
+          result.report.extra("index_saved") >
+      0) {
+    std::cerr << "index: " << result.report.note_or("index_path")
+              << " (checksum " << result.report.note_or("index_checksum")
+              << ", pass 1 "
+              << (result.pass1_skipped ? "skipped — spectrum mmap-loaded"
+                                       : "built and saved")
+              << ")\n";
+  }
   const std::uint64_t cache_hits = result.report.extra("tile_cache_hits");
   const std::uint64_t cache_misses = result.report.extra("tile_cache_misses");
   if (cache_hits + cache_misses > 0) {

@@ -1,0 +1,217 @@
+// ngs-index — build, inspect, and verify persistent spectrum indexes
+// (the ngs::index on-disk format), decoupling pass-1 k-spectrum
+// construction from correction runs the way RECKONER decouples its KMC
+// database build:
+//
+//   ngs-index build  --in reads.fastq --out spectrum.ngsx
+//                    --k 12 --both-strands 1 --threads 8
+//   ngs-index info   --index spectrum.ngsx
+//   ngs-index verify --index spectrum.ngsx
+//
+// `build` streams the FASTQ through the bounded-memory chunked builder
+// (never materializing the read set) and writes atomically; `info`
+// prints the header/provenance without touching payload pages; `verify`
+// recomputes every checksum and validates the spectrum invariants,
+// exiting non-zero with a distinct message per corruption mode.
+//
+// A saved index feeds `ngs-correct --load-index`, which mmaps it and
+// skips pass 1 entirely.
+
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "index/spectrum_index.hpp"
+#include "io/fastq_stream.hpp"
+#include "kspec/chunked_builder.hpp"
+#include "seq/kmer.hpp"
+#include "seq/read.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+using namespace ngs;
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "ngs-index — persistent k-spectrum index tool\n"
+     << "usage: ngs-index <build|info|verify> [options]\n\n"
+     << "  build  --in reads.fastq --out index.ngsx [--k N]\n"
+     << "         [--both-strands 0|1] [--threads N] [--batch-size N]\n"
+     << "  info   --index index.ngsx\n"
+     << "  verify --index index.ngsx\n";
+}
+
+const char* section_label(index::SectionId id) {
+  switch (id) {
+    case index::SectionId::kCodes: return "codes";
+    case index::SectionId::kCounts: return "counts";
+    case index::SectionId::kBucketStarts: return "bucket_starts";
+  }
+  return "unknown";
+}
+
+void print_info(const index::IndexInfo& info, const std::string& path) {
+  std::cout << "index: " << path << "\n"
+            << "  format_version: " << info.format_version << "\n"
+            << "  k: " << info.build.k << "\n"
+            << "  both_strands: " << (info.build.both_strands ? 1 : 0) << "\n"
+            << "  distinct_kmers: " << info.distinct << "\n"
+            << "  total_instances: " << info.total_instances << "\n"
+            << "  prefix_bits: " << info.prefix_bits << "\n"
+            << "  input_reads: " << info.build.input_reads << "\n"
+            << "  input_bases: " << info.build.input_bases << "\n"
+            << "  max_read_length: " << info.build.max_read_length << "\n"
+            << "  file_bytes: " << info.file_bytes << "\n"
+            << "  checksum: 0x" << std::hex << info.checksum << std::dec
+            << "\n"
+            << "  sections:\n";
+  for (const auto& s : info.sections) {
+    std::cout << "    " << section_label(s.id) << ": offset=" << s.offset
+              << " bytes=" << s.bytes << " checksum=0x" << std::hex
+              << s.checksum << std::dec << "\n";
+  }
+}
+
+int run_build(util::CliParser& cli) {
+  const std::string in = cli.get("in");
+  const std::string out = cli.get("out");
+  if (in.empty() || out.empty()) {
+    std::cerr << "ngs-index build: --in and --out are required\n"
+              << cli.usage();
+    return 2;
+  }
+  const int k = static_cast<int>(cli.get_int("k", 12));
+  const bool both_strands = cli.get_int("both-strands", 1) != 0;
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  const auto batch_size =
+      static_cast<std::size_t>(cli.get_int("batch-size", 4096));
+  if (k < 1 || k > seq::kMaxK) {
+    std::cerr << "ngs-index build: --k must be in [1, " << seq::kMaxK
+              << "]\n";
+    return 2;
+  }
+
+  util::Timer timer;
+  std::optional<util::ThreadPool> own_pool;
+  if (threads > 0) own_pool.emplace(threads);
+  kspec::ChunkedSpectrumBuilder builder(
+      k, both_strands, 1 << 20, own_pool ? &*own_pool : nullptr);
+  index::IndexBuildInfo build;
+  build.k = k;
+  build.both_strands = both_strands;
+  {
+    io::FastqStreamReader reader(in);
+    std::vector<seq::Read> batch;
+    while (reader.read_batch(batch, batch_size) > 0) {
+      for (const auto& r : batch) {
+        builder.add_read(r.bases);
+        ++build.input_reads;
+        build.input_bases += r.bases.size();
+        if (r.bases.size() > build.max_read_length) {
+          build.max_read_length = static_cast<std::uint32_t>(r.bases.size());
+        }
+      }
+      batch.clear();
+    }
+  }
+  const auto spectrum = builder.finish();
+  const double build_s = timer.seconds();
+
+  util::Timer write_timer;
+  const std::uint64_t checksum =
+      index::write_spectrum_index(out, spectrum, build);
+  std::cerr << "built k=" << k << " spectrum of " << spectrum.size()
+            << " distinct kmers (" << spectrum.total_instances()
+            << " instances) from " << build.input_reads << " reads in "
+            << build_s << "s\n"
+            << "wrote " << out << " (checksum 0x" << std::hex << checksum
+            << std::dec << ") in " << write_timer.seconds() << "s\n";
+  return 0;
+}
+
+int run_info(util::CliParser& cli) {
+  const std::string path = cli.get("index");
+  if (path.empty()) {
+    std::cerr << "ngs-index info: --index is required\n" << cli.usage();
+    return 2;
+  }
+  print_info(index::SpectrumIndex::read_info(path), path);
+  return 0;
+}
+
+int run_verify(util::CliParser& cli) {
+  const std::string path = cli.get("index");
+  if (path.empty()) {
+    std::cerr << "ngs-index verify: --index is required\n" << cli.usage();
+    return 2;
+  }
+  util::Timer timer;
+  index::LoadOptions options;
+  options.verify_checksums = true;
+  options.validate_payload = true;
+  const auto index = index::SpectrumIndex::load(path, options);
+  std::cerr << "ok: " << path << " (" << index.info().distinct
+            << " distinct kmers, checksum 0x" << std::hex
+            << index.info().checksum << std::dec << ", "
+            << (index.info().mapped ? "mmap" : "owned buffer") << ", verified in "
+            << timer.seconds() << "s)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::string subcommand = argv[1];
+  if (subcommand == "--help" || subcommand == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
+
+  util::CliParser cli("ngs-index " + subcommand,
+                      "persistent k-spectrum index tool");
+  if (subcommand == "build") {
+    cli.add_option("in", "input FASTQ", true, "");
+    cli.add_option("out", "output index path", true, "");
+    cli.add_option("k", "kmer length", true, "12");
+    cli.add_option("both-strands",
+                   "include reverse-complement strands (1) or not (0)", true,
+                   "1");
+    cli.add_option("threads", "spectrum build threads (0 = all cores)", true,
+                   "0");
+    cli.add_option("batch-size", "reads per streamed parse batch", true,
+                   "4096");
+  } else if (subcommand == "info" || subcommand == "verify") {
+    cli.add_option("index", "index file to inspect", true, "");
+  } else {
+    std::cerr << "ngs-index: unknown subcommand '" << subcommand << "'\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  if (!cli.parse(argc - 1, argv + 1)) {
+    std::cerr << cli.error() << "\n" << cli.usage();
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+
+  try {
+    if (subcommand == "build") return run_build(cli);
+    if (subcommand == "info") return run_info(cli);
+    return run_verify(cli);
+  } catch (const index::IndexError& e) {
+    std::cerr << "ngs-index " << subcommand << ": " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "ngs-index " << subcommand << ": " << e.what() << "\n";
+    return 1;
+  }
+}
