@@ -1,9 +1,12 @@
 // google-benchmark microbenchmarks for the hot substrate primitives:
 // kmer codec, reverse complement, Hamming, spectrum construction, flat
-// counter, packed-window mismatch counting, and the MapReduce engine.
+// counter, packed-window mismatch counting, the MapReduce engine, and
+// the disarmed fault-injection site check (must stay ~1 atomic load).
 
 #include <benchmark/benchmark.h>
 
+#include "fault/fault.hpp"
+#include "fault/sites.hpp"
 #include "kspec/kspectrum.hpp"
 #include "mapper/packed_sequence.hpp"
 #include "mapreduce/job.hpp"
@@ -119,6 +122,30 @@ void BM_MapReduceWordCount(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MapReduceWordCount)->Arg(10000)->Arg(100000);
+
+void BM_FaultSiteCheckDisarmed(benchmark::State& state) {
+  // The cost every hardened hot path pays when no fault is armed: one
+  // relaxed atomic load (or nothing under NGS_FAULT_INJECTION=OFF).
+  fault::Registry::instance().reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fault::should_fire(fault::sites::kPass2Batch));
+  }
+}
+BENCHMARK(BM_FaultSiteCheckDisarmed);
+
+void BM_FaultSiteCheckArmedElsewhere(benchmark::State& state) {
+  // Worst non-firing case: the registry is enabled (some other site is
+  // armed), so every check takes the mutex and counts the hit.
+  fault::Registry::instance().reset();
+  fault::Registry::instance().configure("io.fastq.open=n1000000000");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fault::should_fire(fault::sites::kPass2Batch));
+  }
+  fault::Registry::instance().reset();
+}
+BENCHMARK(BM_FaultSiteCheckArmedElsewhere);
 
 }  // namespace
 

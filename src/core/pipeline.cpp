@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <optional>
@@ -9,8 +10,8 @@
 
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "index/spectrum_index.hpp"
-#include "io/fastq_stream.hpp"
 #include "io/fastx.hpp"
 #include "kspec/chunked_builder.hpp"
 #include "util/memory.hpp"
@@ -42,19 +43,38 @@ CorrectionPipeline::~CorrectionPipeline() = default;
 
 PipelineResult CorrectionPipeline::run_file(const std::string& in_fastq,
                                             const std::string& out_fastq) {
-  std::ofstream os(out_fastq);
-  if (!os) {
-    throw std::runtime_error("cannot open for writing: " + out_fastq);
+  // Atomic output, mirroring the index writer: correct into a sibling
+  // temp file and rename over the target only on success, so a failed
+  // or interrupted run never leaves a truncated corrected FASTQ where
+  // downstream tooling expects a complete one.
+  const std::string tmp = out_fastq + ".tmp";
+  PipelineResult result;
+  try {
+    std::ofstream os(tmp);
+    if (!os) {
+      throw Error(ErrorKind::kIo, fault::sites::kOutputWrite,
+                  "cannot open for writing: " + tmp);
+    }
+    result = run(
+        [&in_fastq]() -> std::unique_ptr<std::istream> {
+          return io::open_input_stream(in_fastq);
+        },
+        os);
+    os.close();
+    if (!os) {
+      throw Error(ErrorKind::kIo, fault::sites::kOutputWrite,
+                  "error finalizing output: " + tmp);
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
   }
-  return run(
-      [&in_fastq]() -> std::unique_ptr<std::istream> {
-        auto is = std::make_unique<std::ifstream>(in_fastq);
-        if (!*is) {
-          throw std::runtime_error("cannot open for reading: " + in_fastq);
-        }
-        return is;
-      },
-      os);
+  if (std::rename(tmp.c_str(), out_fastq.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error(ErrorKind::kIo, fault::sites::kOutputWrite,
+                "cannot rename " + tmp + " to " + out_fastq);
+  }
+  return result;
 }
 
 PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
@@ -65,8 +85,42 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
   util::ThreadPool& pool = own_pool ? *own_pool : util::default_pool();
   const std::size_t batch_size = options_.batch_size;
 
+  // Transient input-open failures are absorbed by a bounded
+  // exponential-backoff retry; the count is surfaced as io_retries.
+  const fault::RetryPolicy retry_policy{
+      std::max(1, options_.io_retry_attempts),
+      std::max(0, options_.io_retry_backoff_ms)};
+  const auto open_with_retry = [&]() {
+    return fault::with_retry(
+        retry_policy,
+        [&]() -> std::unique_ptr<std::istream> {
+          // The transient site models an open that succeeds on retry
+          // (NFS hiccup, fd-limit race) and is absorbed by the budget;
+          // the hard open site models a missing/unreadable input.
+          fault::maybe_fail(fault::sites::kOpenInputTransient,
+                            ErrorKind::kIo, "cannot open input",
+                            /*transient=*/true);
+          fault::maybe_fail(fault::sites::kFastqOpen, ErrorKind::kIo,
+                            "cannot open input");
+          return open_input();
+        },
+        &result.io_retries);
+  };
+  // One batch-write primitive for every path below: injectable, and any
+  // stream failure is a typed I/O error instead of a silent bad() bit.
+  const auto write_batch = [&out](std::span<const seq::Read> reads) {
+    fault::maybe_fail(fault::sites::kOutputWrite, ErrorKind::kIo,
+                      "error writing corrected output");
+    io::write_fastq(out, reads);
+    if (!out) {
+      throw Error(ErrorKind::kIo, fault::sites::kOutputWrite,
+                  "error writing corrected output batch");
+    }
+  };
+
   std::vector<seq::Read> in_batch, out_batch;
   std::uint64_t index_checksum = 0;
+  std::uint64_t pass1_skipped_records = 0;
   bool index_saved = false;
   if (corrector_->spectrum_k() > 0) {
     result.streamed = true;
@@ -112,8 +166,9 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
           corrector_->spectrum_k(), corrector_->spectrum_both_strands(),
           options_.spectrum_batch_instances,
           spectrum_pool ? &*spectrum_pool : &pool);
-      auto is = open_input();
+      auto is = open_with_retry();
       io::FastqStreamReader reader(*is);
+      reader.set_bad_record_policy(options_.on_bad_record);
       while (reader.read_batch(in_batch, batch_size) > 0) {
         for (const auto& r : in_batch) {
           builder.add_read(r.bases);
@@ -123,6 +178,7 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
             std::max(result.peak_buffered_reads, in_batch.size());
         in_batch.clear();
       }
+      pass1_skipped_records = reader.records_skipped();
       kspec::KSpectrum spectrum = builder.finish();
       if (!options_.save_index_path.empty()) {
         ngs::index::IndexBuildInfo build;
@@ -139,18 +195,24 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
       corrector_->build_from_spectrum(std::move(spectrum), result.input);
     }
     // Pass 2: re-stream, correct each batch in parallel, write in order.
-    auto is = open_input();
+    auto is = open_with_retry();
     io::FastqStreamReader reader(*is);
+    reader.set_bad_record_policy(options_.on_bad_record);
     while (reader.read_batch(in_batch, batch_size) > 0) {
       result.peak_buffered_reads =
           std::max(result.peak_buffered_reads, in_batch.size());
       util::Timer pass2_timer;
       correct_batch_parallel(pool, in_batch, out_batch, result.report);
       result.pass2_seconds += pass2_timer.seconds();
-      io::write_fastq(out, std::span<const seq::Read>(out_batch));
+      write_batch(std::span<const seq::Read>(out_batch));
       ++result.batches;
       in_batch.clear();
     }
+    // A genuinely malformed record is dropped by both passes, so take
+    // the max rather than the sum (summing would double-count it;
+    // taking only pass 2 would hide a record dropped by pass 1 alone).
+    result.reads_skipped =
+        std::max(pass1_skipped_records, reader.records_skipped());
   } else {
     if (!options_.load_index_path.empty() ||
         !options_.save_index_path.empty()) {
@@ -163,10 +225,12 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
     // Buffered path: one pass to load, then batch (or whole-set) correct.
     seq::ReadSet all;
     {
-      auto is = open_input();
+      auto is = open_with_retry();
       io::FastqStreamReader reader(*is);
+      reader.set_bad_record_policy(options_.on_bad_record);
       while (reader.read_batch(all.reads, batch_size) > 0) {
       }
+      result.reads_skipped = reader.records_skipped();
     }
     for (const auto& r : all.reads) result.input.add(r);
     result.peak_buffered_reads = all.reads.size();
@@ -180,7 +244,7 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
         correct_batch_parallel(pool, {all.reads.data() + offset, n},
                                out_batch, result.report);
         result.pass2_seconds += pass2_timer.seconds();
-        io::write_fastq(out, std::span<const seq::Read>(out_batch));
+        write_batch(std::span<const seq::Read>(out_batch));
         ++result.batches;
       }
     } else {
@@ -190,15 +254,16 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
       for (std::size_t offset = 0; offset < corrected.size();
            offset += batch_size) {
         const std::size_t n = std::min(batch_size, corrected.size() - offset);
-        io::write_fastq(
-            out, std::span<const seq::Read>(corrected.data() + offset, n));
+        write_batch(
+            std::span<const seq::Read>(corrected.data() + offset, n));
         ++result.batches;
       }
     }
   }
   out.flush();
   if (!out) {
-    throw std::runtime_error("CorrectionPipeline: error writing output");
+    throw Error(ErrorKind::kIo, fault::sites::kOutputWrite,
+                "CorrectionPipeline: error writing output");
   }
   // Standardized observability extras: every tool and bench reports the
   // same perf keys regardless of method.
@@ -217,6 +282,16 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
         "pass2_reads_per_sec",
         static_cast<std::uint64_t>(static_cast<double>(result.report.reads) /
                                    result.pass2_seconds));
+  }
+  // Degradation accounting: what was dropped, passed through, or
+  // retried — zero-valued keys are omitted so fault-free reports are
+  // byte-identical to pre-hardening ones.
+  result.reads_failed = result.report.extra("reads_failed");
+  if (result.reads_skipped > 0) {
+    result.report.bump("reads_skipped", result.reads_skipped);
+  }
+  if (result.io_retries > 0) {
+    result.report.bump("io_retries", result.io_retries);
   }
   result.peak_rss_bytes = util::peak_rss_bytes();
   return result;
@@ -251,15 +326,50 @@ void CorrectionPipeline::correct_batch_parallel(util::ThreadPool& pool,
   pool.parallel_for_blocked(0, in.size(), [&](std::size_t lo, std::size_t hi) {
     CorrectionReport local;
     std::vector<seq::Read> block;
-    block.reserve(hi - lo);
     auto scratch = acquire_scratch();
-    corrector_->correct_batch(in.subspan(lo, hi - lo), block, local,
-                              scratch.get());
-    release_scratch(std::move(scratch));
-    if (block.size() != hi - lo) {
-      throw std::runtime_error(
-          "correct_batch returned a different number of reads");
+    bool block_ok = true;
+    try {
+      fault::maybe_fail(fault::sites::kPass2Batch, ErrorKind::kInternal,
+                        "pass-2 batch correction failed");
+      block.reserve(hi - lo);
+      corrector_->correct_batch(in.subspan(lo, hi - lo), block, local,
+                                scratch.get());
+      if (block.size() != hi - lo) {
+        throw Error(ErrorKind::kInternal, fault::sites::kPass2Batch,
+                    "correct_batch returned a different number of reads");
+      }
+    } catch (...) {
+      block_ok = false;
     }
+    if (!block_ok) {
+      // Graceful degradation: re-correct the block one read at a time.
+      // A read whose correction still throws passes through uncorrected
+      // (counted as reads_failed) — one bad read degrades itself, not
+      // the batch, not the run.
+      local = CorrectionReport{};  // discard partial batch tallies
+      block.clear();
+      std::vector<seq::Read> one;
+      for (std::size_t i = lo; i < hi; ++i) {
+        one.clear();
+        try {
+          fault::maybe_fail(fault::sites::kPass2Read, ErrorKind::kInternal,
+                            "pass-2 read correction failed");
+          corrector_->correct_batch(in.subspan(i, 1), one, local,
+                                    scratch.get());
+          if (one.size() != 1) {
+            throw Error(ErrorKind::kInternal, fault::sites::kPass2Read,
+                        "correct_batch returned a different number of reads");
+          }
+          block.push_back(std::move(one[0]));
+        } catch (...) {
+          block.push_back(in[i]);
+          ++local.reads;
+          local.bump("reads_failed", 1);
+        }
+      }
+      local.bump("batches_salvaged", 1);
+    }
+    release_scratch(std::move(scratch));
     for (std::size_t i = 0; i < block.size(); ++i) {
       out[lo + i] = std::move(block[i]);
     }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/corrector.hpp"
+#include "io/fastq_stream.hpp"
 
 namespace ngs::util {
 class ThreadPool;
@@ -55,6 +56,17 @@ struct PipelineOptions {
   /// Streaming methods only; ignored when load_index_path is set (there
   /// is nothing new to save).
   std::string save_index_path;
+  /// Malformed-FASTQ policy (ngs-correct --on-bad-record). kFail aborts
+  /// with a located parse error; kSkip counts and drops bad records
+  /// (reported as reads_skipped) and keeps going — both passes apply
+  /// the same policy, so the streamed spectrum and the corrected output
+  /// see the same records.
+  io::BadRecordPolicy on_bad_record = io::BadRecordPolicy::kFail;
+  /// Bounded retry for transient input-open failures (see
+  /// fault::with_retry): total attempts and initial backoff, doubling
+  /// per retry. Retries performed are reported as io_retries.
+  int io_retry_attempts = 3;
+  int io_retry_backoff_ms = 5;
 };
 
 struct PipelineResult {
@@ -77,6 +89,15 @@ struct PipelineResult {
   /// Wall time spent in phase-2 batch correction (excludes phase 1 and
   /// output writing); report.extra("pass2_reads_per_sec") derives from it.
   double pass2_seconds = 0.0;
+  /// Malformed records dropped across all passes under
+  /// BadRecordPolicy::kSkip (also report extra "reads_skipped").
+  std::uint64_t reads_skipped = 0;
+  /// Reads whose correction threw and were passed through uncorrected
+  /// by the per-read salvage path (also report extra "reads_failed").
+  std::uint64_t reads_failed = 0;
+  /// Transient input-open failures absorbed by the bounded retry (also
+  /// report extra "io_retries").
+  std::uint64_t io_retries = 0;
 };
 
 class CorrectionPipeline {
@@ -92,7 +113,10 @@ class CorrectionPipeline {
   const Corrector& corrector() const noexcept { return *corrector_; }
   const PipelineOptions& options() const noexcept { return options_; }
 
-  /// Corrects in_fastq into out_fastq (overwritten).
+  /// Corrects in_fastq into out_fastq. The output is written to a
+  /// sibling temp file and atomically renamed into place on success
+  /// (mirroring the index writer), so an interrupted or failed run
+  /// never leaves a truncated corrected FASTQ behind.
   PipelineResult run_file(const std::string& in_fastq,
                           const std::string& out_fastq);
 

@@ -1,0 +1,180 @@
+#pragma once
+// ngs::fault — a process-wide, deterministic fault-injection registry.
+//
+// Production correctors live or die on how they handle the unhappy
+// paths: truncated FASTQ, a disk that fails mid-write, an index file a
+// previous run corrupted, a worker that dies. Those paths are exactly
+// the ones ordinary tests never execute. This subsystem makes every
+// failure path drivable on demand:
+//
+//   - each potentially failing operation is an *injection site* with a
+//     stable name from the catalog in sites.hpp;
+//   - a spec string ("io.fastq.read=n2,index.mmap=always,seed=7") arms
+//     sites with a trigger: fire on the Nth hit, on every hit, once,
+//     or with probability p from a seeded RNG — so a chaos run is
+//     reproducible from the spec alone;
+//   - armed or not, the registry keeps per-site hit/fire counters the
+//     chaos suite asserts on ("this sweep really exercised the site");
+//   - when nothing is armed, a site check is one relaxed atomic load —
+//     and compiles to nothing with NGS_FAULT_DISABLED (CMake
+//     -DNGS_FAULT_INJECTION=OFF).
+//
+// Spec grammar (comma-separated, applied left to right):
+//   <site>=always      fire on every hit
+//   <site>=once        fire on the first hit only
+//   <site>=n<K>        fire on exactly the K-th hit (1-based)
+//   <site>=p<F>        fire each hit with probability F in [0,1]
+//   <site>=off         disarm the site
+//   seed=<N>           seed for the probability triggers (default 0x5eed)
+// Site names must come from fault::sites::kAll; anything else is a
+// config error. The spec is also read from $NGS_FAULT_SPEC by the tools
+// (configure_from_env) and the --fault-spec flag.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fault/sites.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ngs::fault {
+
+/// Thrown by cooperative retry loops (the MapReduce map-task site) to
+/// signal an injected, retryable failure — distinct from user
+/// exceptions so retry logic never masks real bugs.
+struct InjectedFault {};
+
+struct SiteStats {
+  std::uint64_t hits = 0;   // times the site was evaluated
+  std::uint64_t fires = 0;  // times it fired
+};
+
+class Registry {
+ public:
+  /// The process-wide registry.
+  static Registry& instance();
+
+  /// Parses and arms `spec` (see grammar above), merging into the
+  /// current configuration. Throws ngs::Error(kConfig) on an unknown
+  /// site name or malformed trigger. An empty spec is a no-op.
+  void configure(const std::string& spec);
+
+  /// Arms from $NGS_FAULT_SPEC when set. Returns true if a spec was
+  /// found and applied.
+  bool configure_from_env();
+
+  /// Disarms every site and zeroes all counters.
+  void reset();
+
+  /// True when at least one site is armed (fast path gate).
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Evaluates `site`: counts the hit and returns whether the armed
+  /// trigger fires. Always false (and not counted) when disarmed
+  /// process-wide; thread-safe.
+  bool should_fire(const char* site) noexcept;
+
+  /// Counters for one site (zeros if never hit).
+  SiteStats stats(const std::string& site) const;
+
+  /// Counters for every site hit or armed so far, in name order.
+  std::vector<std::pair<std::string, SiteStats>> all_stats() const;
+
+  /// Human-readable "site: hits=H fires=F" lines for armed/hit sites.
+  std::string summary() const;
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  enum class Trigger { kNever, kAlways, kOnce, kNth, kProbability };
+
+  struct SiteState {
+    Trigger trigger = Trigger::kNever;
+    double probability = 0.0;
+    std::uint64_t nth = 0;
+    util::Rng rng{0};
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  Registry() = default;
+  void arm(const std::string& site, const std::string& trigger);
+  void refresh_enabled_locked();
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, SiteState> sites_;
+  std::atomic<bool> enabled_{false};
+  std::uint64_t seed_ = 0x5eed;
+};
+
+#if defined(NGS_FAULT_DISABLED)
+
+inline bool should_fire(const char*) noexcept { return false; }
+
+#else
+
+/// Hot-path site check: one relaxed atomic load when nothing is armed.
+inline bool should_fire(const char* site) noexcept {
+  Registry& r = Registry::instance();
+  if (!r.enabled()) return false;
+  return r.should_fire(site);
+}
+
+#endif  // NGS_FAULT_DISABLED
+
+/// Evaluates `site` and, when it fires, throws ngs::Error(kind, site,
+/// "<context>: injected fault at <site>", transient).
+inline void maybe_fail(const char* site, ErrorKind kind,
+                       const std::string& context, bool transient = false) {
+  if (should_fire(site)) {
+    throw Error(kind, site, context + ": injected fault at " + site,
+                transient);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Bounded retry with backoff for transient failures. The pipeline wraps
+// its I/O at the fault sites with this, so an injected (or real)
+// transient error costs a bounded delay instead of the whole run.
+
+struct RetryPolicy {
+  /// Total attempts (>= 1); attempts - 1 retries.
+  int max_attempts = 3;
+  /// Sleep before retry k is backoff_ms * 2^(k-1); 0 disables sleeping
+  /// (tests).
+  int backoff_ms = 5;
+};
+
+namespace detail {
+void backoff_sleep(int milliseconds);
+}
+
+/// Runs `fn`, retrying on ngs::Error with transient() == true up to
+/// policy.max_attempts total attempts with exponential backoff.
+/// Non-transient errors and exhausted budgets propagate unchanged.
+/// Bumps *retries once per retry performed when non-null.
+template <typename F>
+auto with_retry(const RetryPolicy& policy, F&& fn,
+                std::uint64_t* retries = nullptr) -> decltype(fn()) {
+  int backoff = policy.backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const Error& e) {
+      if (!e.transient() || attempt >= policy.max_attempts) throw;
+      if (retries != nullptr) ++*retries;
+      detail::backoff_sleep(backoff);
+      backoff *= 2;
+    }
+  }
+}
+
+}  // namespace ngs::fault

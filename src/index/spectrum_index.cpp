@@ -7,6 +7,8 @@
 #include <sstream>
 #include <utility>
 
+#include "fault/fault.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define NGS_INDEX_POSIX 1
 #include <fcntl.h>
@@ -87,6 +89,9 @@ struct FdGuard {
 
 void write_all(int fd, const void* data, std::size_t n,
                const std::string& path) {
+  if (fault::should_fire(fault::sites::kIndexWrite)) {
+    fail(Kind::kIo, path, "write failed: injected fault at index.write");
+  }
   const auto* p = static_cast<const unsigned char*>(data);
   while (n > 0) {
     const ::ssize_t w = ::write(fd, p, n);
@@ -101,6 +106,10 @@ void write_all(int fd, const void* data, std::size_t n,
 
 void read_exact_at(int fd, void* data, std::size_t n, std::uint64_t offset,
                    const std::string& path) {
+  if (fault::should_fire(fault::sites::kIndexShortRead)) {
+    fail(Kind::kTruncated, path,
+         "unexpected end of file: injected fault at index.short_read");
+  }
   auto* p = static_cast<unsigned char*>(data);
   while (n > 0) {
     const ::ssize_t r = ::pread(fd, p, n, static_cast<::off_t>(offset));
@@ -201,6 +210,10 @@ Metadata parse_metadata(const unsigned char* head, std::size_t head_bytes,
   std::memcpy(meta.table.data(), head + sizeof(IndexHeader),
               meta.table.size() * sizeof(SectionEntry));
   const std::uint64_t expect = meta_checksum(meta.header, meta.table);
+  if (fault::should_fire(fault::sites::kIndexChecksum)) {
+    fail(Kind::kChecksum, path,
+         "header checksum mismatch: injected fault at index.checksum");
+  }
   if (expect != h.header_checksum) {
     std::ostringstream os;
     os << "header checksum mismatch (stored " << std::hex
@@ -276,6 +289,9 @@ IndexInfo make_info(const Metadata& meta) {
 }
 
 Metadata read_metadata_from_file(const std::string& path) {
+  if (fault::should_fire(fault::sites::kIndexOpen)) {
+    fail(Kind::kIo, path, "open failed: injected fault at index.open");
+  }
 #if NGS_INDEX_POSIX
   FdGuard fd{::open(path.c_str(), O_RDONLY)};
   if (fd.fd < 0) fail_errno(path, "open");
@@ -313,6 +329,9 @@ std::shared_ptr<Mapping> map_file(const std::string& path,
 #if NGS_INDEX_POSIX
   FdGuard fd{::open(path.c_str(), O_RDONLY)};
   if (fd.fd < 0) fail_errno(path, "open");
+  // Injected mmap failure exercises the owned-buffer fallback: the load
+  // must still succeed, just without zero-copy pages.
+  if (fault::should_fire(fault::sites::kIndexMmap)) use_mmap = false;
   if (use_mmap && file_size > 0) {
     void* base = ::mmap(nullptr, mapping->size, PROT_READ, MAP_PRIVATE,
                         fd.fd, 0);

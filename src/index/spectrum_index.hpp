@@ -25,20 +25,23 @@
 
 #include <cstdint>
 #include <memory>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "index/format.hpp"
 #include "kspec/kspectrum.hpp"
+#include "util/error.hpp"
 
 namespace ngs::index {
 
 /// Loader/verifier failure with a machine-checkable kind. Every kind
 /// maps to a distinct, actionable message (which file, what was
 /// expected, what was found) — a short mmap is rejected up front, never
-/// dereferenced.
-class IndexError : public std::runtime_error {
+/// dereferenced. Derives from ngs::Error with ErrorKind::kIndex, so the
+/// tools map any index failure to exit code 4 through the shared
+/// taxonomy while callers that care can still switch on the fine-
+/// grained corruption mode.
+class IndexError : public ngs::Error {
  public:
   enum class Kind {
     kIo,             // open/stat/read/write/rename failure
@@ -53,9 +56,11 @@ class IndexError : public std::runtime_error {
   };
 
   IndexError(Kind kind, const std::string& what)
-      : std::runtime_error(what), kind_(kind) {}
+      : ngs::Error(ngs::ErrorKind::kIndex, "index", what), kind_(kind) {}
 
-  Kind kind() const noexcept { return kind_; }
+  /// The corruption mode; named index_kind() so the taxonomy-level
+  /// ngs::Error::kind() stays visible on this type.
+  Kind index_kind() const noexcept { return kind_; }
 
  private:
   Kind kind_;

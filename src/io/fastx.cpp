@@ -3,9 +3,9 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
 
 #include "io/fastq_stream.hpp"
+#include "util/error.hpp"
 
 namespace ngs::io {
 namespace {
@@ -14,23 +14,18 @@ void strip_cr(std::string& line) {
   if (!line.empty() && line.back() == '\r') line.pop_back();
 }
 
-std::ifstream open_input(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open for reading: " + path);
-  return is;
-}
-
 std::ofstream open_output(const std::string& path) {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  if (!os) {
+    throw Error(ErrorKind::kIo, "io.open",
+                "cannot open for writing: " + path);
+  }
   return os;
 }
 
-}  // namespace
-
-seq::ReadSet read_fastq(std::istream& is) {
+seq::ReadSet read_fastq_named(std::istream& is, const std::string& name) {
   seq::ReadSet set;
-  FastqStreamReader reader(is);
+  FastqStreamReader reader(is, name);
   seq::Read read;
   while (reader.next(read)) {
     set.reads.push_back(std::move(read));
@@ -39,14 +34,21 @@ seq::ReadSet read_fastq(std::istream& is) {
   return set;
 }
 
-seq::ReadSet read_fastq_file(const std::string& path) {
-  auto is = open_input(path);
-  return read_fastq(is);
+}  // namespace
+
+seq::ReadSet read_fastq(std::istream& is) {
+  return read_fastq_named(is, "<stream>");
 }
 
-seq::ReadSet read_fasta(std::istream& is) {
+seq::ReadSet read_fastq_file(const std::string& path) {
+  auto is = open_input_stream(path);
+  return read_fastq_named(*is, path);
+}
+
+seq::ReadSet read_fasta(std::istream& is, const std::string& name) {
   seq::ReadSet set;
   std::string line;
+  std::uint64_t lineno = 0;
   seq::Read current;
   bool in_record = false;
   auto flush = [&] {
@@ -54,6 +56,7 @@ seq::ReadSet read_fasta(std::istream& is) {
     current = seq::Read{};
   };
   while (std::getline(is, line)) {
+    ++lineno;
     strip_cr(line);
     if (line.empty()) continue;
     if (line[0] == '>') {
@@ -62,7 +65,9 @@ seq::ReadSet read_fasta(std::istream& is) {
       current.id = line.substr(1);
     } else {
       if (!in_record) {
-        throw std::runtime_error("FASTA: sequence before first header");
+        throw Error(ErrorKind::kParse, "io.fasta.parse",
+                    name + ": line " + std::to_string(lineno) +
+                        ": FASTA: sequence before first header");
       }
       current.bases += line;
     }
@@ -72,8 +77,8 @@ seq::ReadSet read_fasta(std::istream& is) {
 }
 
 seq::ReadSet read_fasta_file(const std::string& path) {
-  auto is = open_input(path);
-  return read_fasta(is);
+  auto is = open_input_stream(path);
+  return read_fasta(*is, path);
 }
 
 void write_fastq(std::ostream& os, std::span<const seq::Read> reads,

@@ -15,13 +15,17 @@ namespace ngs::io {
 
 inline constexpr int kPhredOffset = 33;
 
-/// Parses FASTQ from a stream into a ReadSet. Throws std::runtime_error
-/// on malformed records (truncated record, length mismatch, bad header).
+/// Parses FASTQ from a stream into a ReadSet. Throws ngs::Error
+/// (kind kParse, a std::runtime_error) on malformed records (truncated
+/// record, length mismatch, bad header), with the source, record
+/// number, and line number in the message.
 seq::ReadSet read_fastq(std::istream& is);
 seq::ReadSet read_fastq_file(const std::string& path);
 
-/// Parses (multi-line) FASTA; quality vectors are left empty.
-seq::ReadSet read_fasta(std::istream& is);
+/// Parses (multi-line) FASTA; quality vectors are left empty. `name`
+/// labels the source in parse-error messages.
+seq::ReadSet read_fasta(std::istream& is,
+                        const std::string& name = "<stream>");
 seq::ReadSet read_fasta_file(const std::string& path);
 
 /// Writes FASTQ. Reads without quality get a constant placeholder score.

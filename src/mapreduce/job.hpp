@@ -23,8 +23,12 @@
 #include <functional>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "fault/sites.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -63,12 +67,18 @@ struct JobConfig {
   double task_failure_rate = 0.0;
   int max_task_attempts = 3;
   std::uint64_t failure_seed = 0x5eed;
+  /// Pool to run on; nullptr = the shared default pool. Injected faults
+  /// are keyed to (failure_seed, task index), so the same config yields
+  /// the same failures — and the same output — on any pool size.
+  util::ThreadPool* pool = nullptr;
 };
 
-/// Raised when a map task exhausts its retry budget.
-class TaskFailedError : public std::runtime_error {
+/// Raised when a map task exhausts its retry budget (ErrorKind::kTask,
+/// site mapreduce.map_task).
+class TaskFailedError : public ngs::Error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit TaskFailedError(const std::string& what)
+      : ngs::Error(ngs::ErrorKind::kTask, fault::sites::kMapTask, what) {}
 };
 
 /// Collects intermediate (K, V) pairs from a mapper or reducer.
@@ -85,8 +95,10 @@ class Emitter {
 };
 
 /// Simulated task failure signal (distinct from user exceptions so retry
-/// logic only retries injected faults, not bugs).
-struct InjectedTaskFault {};
+/// logic only retries injected faults, not bugs). Alias of the process-wide
+/// fault registry's marker so NGS_FAULT_SPEC=mapreduce.map_task=... and
+/// JobConfig::task_failure_rate share one retry path.
+using InjectedTaskFault = fault::InjectedFault;
 
 template <typename IK, typename IV, typename MK, typename MV, typename OK,
           typename OV, typename Hash = std::hash<MK>>
@@ -103,7 +115,8 @@ class Job {
       JobCounters* counters = nullptr) {
     JobCounters local;
     const std::size_t R = std::max<std::size_t>(1, config.num_reducers);
-    auto& pool = util::default_pool();
+    auto& pool =
+        config.pool != nullptr ? *config.pool : util::default_pool();
     const std::size_t T =
         config.num_map_tasks != 0
             ? config.num_map_tasks
@@ -129,9 +142,12 @@ class Job {
           std::vector<std::vector<std::pair<MK, MV>>> parts(R);
           Emitter<MK, MV> emitter;
           // Inject a fault for this attempt before doing the work, so the
-          // retry reproduces the full split deterministically.
-          if (config.task_failure_rate > 0.0 &&
-              fault_rng.bernoulli(config.task_failure_rate)) {
+          // retry reproduces the full split deterministically. Both the
+          // job-config rate and the process-wide registry site feed the
+          // same retry path.
+          if ((config.task_failure_rate > 0.0 &&
+               fault_rng.bernoulli(config.task_failure_rate)) ||
+              fault::should_fire(fault::sites::kMapTask)) {
             throw InjectedTaskFault{};
           }
           for (std::size_t i = lo; i < hi; ++i) {
@@ -148,7 +164,11 @@ class Job {
         } catch (const InjectedTaskFault&) {
           failures.fetch_add(1, std::memory_order_relaxed);
           if (attempt + 1 >= config.max_task_attempts) {
-            throw TaskFailedError("map task exceeded retry budget");
+            throw TaskFailedError(
+                "map task " + std::to_string(task) + " failed " +
+                std::to_string(attempt + 1) + " attempts (records [" +
+                std::to_string(lo) + ", " + std::to_string(hi) +
+                ")); retry budget exhausted");
           }
         }
       }

@@ -101,7 +101,7 @@ Kind load_failure_kind(const std::string& path,
   } catch (const index::IndexError& e) {
     EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
         << "error message should name the file: " << e.what();
-    return e.kind();
+    return e.index_kind();
   }
   ADD_FAILURE() << "load of " << path << " unexpectedly succeeded";
   return Kind::kIo;

@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "io/fastq_stream.hpp"
 #include "io/fastx.hpp"
+#include "util/error.hpp"
 
 namespace {
 
@@ -102,6 +108,93 @@ TEST(FastxFiles, FileRoundTrip) {
   EXPECT_EQ(parsed.reads[1].bases, original.reads[1].bases);
   EXPECT_THROW(io::read_fastq_file("/nonexistent/nope.fastq"),
                std::runtime_error);
+}
+
+TEST(FastxFiles, MissingFileErrorIsTypedAndNamesThePath) {
+  try {
+    io::read_fastq_file("/nonexistent/nope.fastq");
+    FAIL() << "expected open failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/nope.fastq"),
+              std::string::npos);
+  }
+}
+
+TEST(Fastq, ParseErrorsCarryRecordAndLineLocation) {
+  // Record 2 is malformed: quality shorter than bases, starting line 5.
+  std::istringstream is(
+      "@r1\nACGT\n+\nIIII\n@r2\nACGTACGT\n+\nIII\n@r3\nTT\n+\nII\n");
+  io::FastqStreamReader reader(is, "reads.fastq");
+  seq::Read r;
+  EXPECT_TRUE(reader.next(r));
+  try {
+    reader.next(r);
+    FAIL() << "expected parse failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kParse);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("reads.fastq"), std::string::npos) << what;
+    EXPECT_NE(what.find("record 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("line"), std::string::npos) << what;
+  }
+}
+
+TEST(Fastq, FileParseErrorsNameTheFile) {
+  const std::string path = testing::TempDir() + "/ngs_bad.fastq";
+  {
+    std::ofstream os(path);
+    os << "@r1\nACGT\n+\nIIII\nACGT\n+\nIIII\n";  // record 2: no '@'
+  }
+  try {
+    io::read_fastq_file(path);
+    FAIL() << "expected parse failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kParse);
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("record 2"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Fastq, SkipPolicyCountsAndResyncsPastBadRecords) {
+  // Two good records bracketing one with a truncated quality line.
+  std::istringstream is(
+      "@r1\nACGT\n+\nIIII\n@bad\nACGT\n+\nII\n@r3\nTTTT\n+\nJJJJ\n");
+  io::FastqStreamReader reader(is, "reads.fastq");
+  reader.set_bad_record_policy(io::BadRecordPolicy::kSkip);
+  std::vector<std::string> ids;
+  seq::Read r;
+  while (reader.next(r)) ids.push_back(r.id);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "r1");
+  EXPECT_EQ(ids[1], "r3");
+  EXPECT_EQ(reader.records(), 2u);
+  EXPECT_GE(reader.records_skipped(), 1u);
+}
+
+TEST(Fastq, SkipPolicyHandlesTruncatedTail) {
+  std::istringstream is("@r1\nACGT\n+\nIIII\n@r2\nACGT\n+\n");  // EOF mid-record
+  io::FastqStreamReader reader(is);
+  reader.set_bad_record_policy(io::BadRecordPolicy::kSkip);
+  seq::Read r;
+  EXPECT_TRUE(reader.next(r));
+  EXPECT_FALSE(reader.next(r)) << "truncated tail is skipped, not fatal";
+  EXPECT_EQ(reader.records_skipped(), 1u);
+}
+
+TEST(Fasta, ParseErrorsCarryNameAndLine) {
+  std::istringstream is("ACGT\n");  // sequence before any header
+  try {
+    io::read_fasta(is, "genome.fasta");
+    FAIL() << "expected parse failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kParse);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("genome.fasta"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

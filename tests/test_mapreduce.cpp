@@ -119,6 +119,74 @@ TEST(MapReduce, ExhaustedRetriesThrow) {
   EXPECT_THROW(word_count(docs, config), mapreduce::TaskFailedError);
 }
 
+TEST(MapReduce, ExhaustionErrorIsTypedAndNamesTheTask) {
+  std::vector<std::pair<int, std::string>> docs{{0, "x"}, {1, "y"}};
+  mapreduce::JobConfig config;
+  config.task_failure_rate = 1.0;
+  config.max_task_attempts = 2;
+  config.num_map_tasks = 1;
+  try {
+    word_count(docs, config);
+    FAIL() << "expected TaskFailedError";
+  } catch (const mapreduce::TaskFailedError& e) {
+    EXPECT_EQ(e.kind(), ngs::ErrorKind::kTask);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("map task 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 attempts"), std::string::npos) << what;
+    EXPECT_NE(what.find("retry budget exhausted"), std::string::npos) << what;
+  }
+}
+
+TEST(MapReduce, OutputAfterInjectedFaultsMatchesFaultFreeRun) {
+  std::vector<std::pair<int, std::string>> docs;
+  for (int i = 0; i < 128; ++i) {
+    docs.emplace_back(i, "k" + std::to_string(i % 13) + " k" +
+                             std::to_string(i % 7));
+  }
+  mapreduce::JobConfig clean_config;
+  clean_config.num_map_tasks = 16;
+  const auto clean = word_count(docs, clean_config);
+
+  mapreduce::JobConfig faulty_config = clean_config;
+  faulty_config.task_failure_rate = 0.5;
+  faulty_config.max_task_attempts = 100;
+  mapreduce::JobCounters counters;
+  const auto faulty = word_count(docs, faulty_config, &counters);
+  EXPECT_GT(counters.map_task_failures, 0u) << "faults never fired";
+  EXPECT_EQ(faulty, clean)
+      << "retried tasks must reproduce the fault-free output exactly";
+}
+
+TEST(MapReduce, InjectedFaultsAreDeterministicAcrossPoolSizes) {
+  std::vector<std::pair<int, std::string>> docs;
+  for (int i = 0; i < 96; ++i) {
+    docs.emplace_back(i, "a" + std::to_string(i % 11));
+  }
+  // Fix the task count so the splits (and the per-task fault RNG
+  // streams) are identical no matter how many threads execute them.
+  const auto run_on = [&](std::size_t pool_size) {
+    util::ThreadPool pool(pool_size);
+    mapreduce::JobConfig config;
+    config.num_map_tasks = 12;
+    config.task_failure_rate = 0.4;
+    config.max_task_attempts = 100;
+    config.failure_seed = 99;
+    config.pool = &pool;
+    mapreduce::JobCounters counters;
+    const auto result = word_count(docs, config, &counters);
+    return std::make_pair(result, counters.map_task_failures);
+  };
+  const auto one = run_on(1);
+  const auto four = run_on(4);
+  const auto eight = run_on(8);
+  EXPECT_EQ(one.first, four.first);
+  EXPECT_EQ(one.first, eight.first);
+  EXPECT_GT(one.second, 0u) << "faults never fired";
+  EXPECT_EQ(one.second, four.second)
+      << "fault schedule must depend on (seed, task), not thread count";
+  EXPECT_EQ(one.second, eight.second);
+}
+
 TEST(BlockStore, WriteReadRoundTrip) {
   mapreduce::BlockStore store(4, 2, 16);
   const std::string data(100, 'x');

@@ -1,13 +1,30 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the command-line tools: simulate a small run,
 # correct it with two methods, cluster a FASTA, round-trip a persistent
-# spectrum index through ngs_index and ngs_correct, and sanity-check
-# outputs.
+# spectrum index through ngs_index and ngs_correct, sanity-check
+# outputs, and assert the documented exit codes on every failure path
+# (0 success, 2 usage/config, 3 input/parse, 4 index, 1 internal).
 set -euo pipefail
 
 BIN_DIR="$1"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
+
+# expect_exit <code> <cmd...>: the command must fail with exactly <code>;
+# stderr is captured to $WORK/stderr.txt for message assertions.
+expect_exit() {
+  local want="$1"
+  shift
+  local got=0
+  "$@" >/dev/null 2>"$WORK/stderr.txt" || got=$?
+  if [ "$got" != "$want" ]; then
+    echo "expected exit $want, got $got from: $*" >&2
+    cat "$WORK/stderr.txt" >&2
+    exit 1
+  fi
+  # Every failure path must say something on stderr.
+  test -s "$WORK/stderr.txt"
+}
 
 "$BIN_DIR/ngs_simulate" \
   --genome-length 20000 --coverage 30 --error-rate 0.01 --seed 7 \
@@ -44,12 +61,52 @@ rows=$(($(wc -l < "$WORK/clusters.tsv") - 1))
 seqs=$(grep -c '^>' "$WORK/reads.fasta")
 [ "$rows" = "$seqs" ]
 
-# Unknown method fails loudly.
-if "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" --method bogus \
-     >/dev/null 2>&1; then
-  echo "expected failure for bogus method" >&2
-  exit 1
-fi
+# Failure paths carry distinct exit codes and stderr messages.
+# Usage/config errors -> 2.
+expect_exit 2 "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" --method bogus
+expect_exit 2 "$BIN_DIR/ngs_correct" --method sap  # --in missing
+expect_exit 2 "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+  --out "$WORK/x.fastq" --method sap --on-bad-record sometimes
+expect_exit 2 "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+  --out "$WORK/x.fastq" --method sap --fault-spec "no.such.site=always"
+grep -q "no.such.site" "$WORK/stderr.txt"
+
+# Missing/unreadable input -> 3.
+expect_exit 3 "$BIN_DIR/ngs_correct" --in "$WORK/nonexistent.fastq" \
+  --out "$WORK/x.fastq" --method sap
+
+# Malformed input: fail mode -> 3 with a located parse error; skip mode
+# drops the bad record and succeeds.
+{
+  head -8 "$WORK/reads.fastq"
+  printf '@broken\nACGT\nIIII\n'   # no '+' separator
+  sed -n '9,16p' "$WORK/reads.fastq"
+} > "$WORK/malformed.fastq"
+expect_exit 3 "$BIN_DIR/ngs_correct" --in "$WORK/malformed.fastq" \
+  --out "$WORK/x.fastq" --method sap
+grep -q "record 3" "$WORK/stderr.txt"
+grep -q "line" "$WORK/stderr.txt"
+"$BIN_DIR/ngs_correct" --in "$WORK/malformed.fastq" \
+  --out "$WORK/skipped.fastq" --method sap --genome-length 20000 \
+  --on-bad-record skip 2>"$WORK/stderr.txt"
+grep -q "malformed records skipped" "$WORK/stderr.txt"
+test -s "$WORK/skipped.fastq"
+
+# Injected faults drive the same paths: a hard open fault -> 3, an
+# absorbed pass-2 fault -> 0 with byte-identical output.
+expect_exit 3 "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+  --out "$WORK/x.fastq" --method sap --fault-spec "io.fastq.open=always"
+"$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+  --out "$WORK/salvaged.fastq" --method sap --genome-length 20000 \
+  --threads 2 --batch-size 1000 \
+  --fault-spec "core.pass2.batch=n1" 2>"$WORK/stderr.txt"
+grep -q "fault injection:" "$WORK/stderr.txt"
+cmp "$WORK/salvaged.fastq" "$WORK/corrected_sap.fastq"
+
+# NGS_FAULT_SPEC environment variable is honored too.
+expect_exit 3 env NGS_FAULT_SPEC="io.fastq.open=always" \
+  "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+  --out "$WORK/x.fastq" --method sap
 
 # Persistent spectrum index: build/info/verify round-trip.
 "$BIN_DIR/ngs_index" build --in "$WORK/reads.fastq" \
@@ -59,16 +116,28 @@ test -s "$WORK/spectrum.ngsx"
   | grep -q "k: 12"
 "$BIN_DIR/ngs_index" verify --index "$WORK/spectrum.ngsx"
 
-# A corrupted copy must fail verification (and only verification hits
-# the payload pages, so flip a byte deep inside the file).
+# A corrupted copy must fail verification with the index exit code (and
+# only verification hits the payload pages, so flip a byte deep inside
+# the file).
 cp "$WORK/spectrum.ngsx" "$WORK/corrupt.ngsx"
 printf '\xff' | dd of="$WORK/corrupt.ngsx" bs=1 seek=300 count=1 \
   conv=notrunc status=none
-if "$BIN_DIR/ngs_index" verify --index "$WORK/corrupt.ngsx" \
-     >/dev/null 2>&1; then
-  echo "expected verify failure for corrupted index" >&2
-  exit 1
-fi
+expect_exit 4 "$BIN_DIR/ngs_index" verify --index "$WORK/corrupt.ngsx"
+
+# Index failure paths: missing index -> 4, unknown subcommand -> 2, a
+# corrupt index behind ngs-correct --load-index -> 4.
+expect_exit 4 "$BIN_DIR/ngs_index" info --index "$WORK/nonexistent.ngsx"
+expect_exit 4 "$BIN_DIR/ngs_index" verify --index "$WORK/nonexistent.ngsx"
+expect_exit 2 "$BIN_DIR/ngs_index" frobnicate
+expect_exit 2 "$BIN_DIR/ngs_index" build --in "$WORK/reads.fastq" \
+  --out "$WORK/bad_k.ngsx" --k 99
+expect_exit 3 "$BIN_DIR/ngs_index" build --in "$WORK/nonexistent.fastq" \
+  --out "$WORK/x.ngsx"
+# Structural corruption (truncation) is caught even by the lazy
+# non-verifying load behind --load-index.
+head -c 100 "$WORK/spectrum.ngsx" > "$WORK/truncated.ngsx"
+expect_exit 4 "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+  --out "$WORK/x.fastq" --method sap --load-index "$WORK/truncated.ngsx"
 
 # Build-once/correct-many: --save-index then --load-index must produce
 # byte-identical corrected output (sap uses the k=12 spectrum).

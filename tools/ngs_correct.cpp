@@ -11,13 +11,18 @@
 //
 // Method dispatch lives entirely in core::make_corrector; this tool
 // never names an individual method.
+//
+// Exit codes: 0 success, 2 usage/config error, 3 input open/parse
+// error, 4 index error, 1 internal error.
 
 #include <exception>
 #include <iostream>
 
 #include "core/pipeline.hpp"
 #include "core/registry.hpp"
+#include "fault/fault.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/memory.hpp"
 #include "util/timer.hpp"
 
@@ -53,6 +58,14 @@ int main(int argc, char** argv) {
                  "persist the pass-1 spectrum to this path for future "
                  "--load-index runs (streaming methods only)",
                  true, "");
+  cli.add_option("on-bad-record",
+                 "malformed-FASTQ policy: fail (abort with a located "
+                 "parse error) or skip (drop and count)",
+                 true, "fail");
+  cli.add_option("fault-spec",
+                 "fault-injection spec, e.g. 'io.fastq.open=n2,seed=7' "
+                 "(also read from NGS_FAULT_SPEC; testing only)",
+                 true, "");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage();
     return 2;
@@ -66,9 +79,35 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (cli.help_requested() || cli.get("in").empty()) {
+  if (cli.help_requested()) {
     std::cout << cli.usage();
-    return cli.help_requested() ? 0 : 2;
+    return 0;
+  }
+  if (cli.get("in").empty()) {
+    std::cerr << "ngs-correct: --in is required\n" << cli.usage();
+    return 2;
+  }
+
+  // Arm the fault registry before any I/O: env first, then the flag
+  // (the flag augments/overrides the env spec site by site).
+  try {
+    fault::Registry::instance().configure_from_env();
+    if (!cli.get("fault-spec").empty()) {
+      fault::Registry::instance().configure(cli.get("fault-spec"));
+    }
+  } catch (const Error& e) {
+    std::cerr << "ngs-correct: " << e.what() << "\n";
+    return tool_exit_code(e.kind());
+  }
+
+  io::BadRecordPolicy bad_record_policy = io::BadRecordPolicy::kFail;
+  const std::string on_bad_record = cli.get("on-bad-record", "fail");
+  if (on_bad_record == "skip") {
+    bad_record_policy = io::BadRecordPolicy::kSkip;
+  } else if (on_bad_record != "fail") {
+    std::cerr << "ngs-correct: --on-bad-record must be 'fail' or 'skip', got '"
+              << on_bad_record << "'\n";
+    return 2;
   }
 
   core::CorrectorConfig config;
@@ -95,14 +134,21 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("batch-size", 4096));
   options.load_index_path = cli.get("load-index");
   options.save_index_path = cli.get("save-index");
+  options.on_bad_record = bad_record_policy;
   core::CorrectionPipeline pipeline(std::move(corrector), options);
 
   util::Timer timer;
   core::PipelineResult result;
   try {
     result = pipeline.run_file(cli.get("in"), cli.get("out"));
-  } catch (const std::exception& e) {
+  } catch (const Error& e) {
     std::cerr << "ngs-correct: " << e.what() << "\n";
+    return tool_exit_code(e.kind());
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "ngs-correct: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "ngs-correct: internal error: " << e.what() << "\n";
     return 1;
   }
   std::cerr << "method=" << method_name
@@ -128,6 +174,17 @@ int main(int argc, char** argv) {
                      static_cast<double>(cache_hits + cache_misses)
               << "% hit rate, pass 2 "
               << result.report.extra("pass2_reads_per_sec") << " reads/s\n";
+  }
+  // Degradation report: anything the run survived rather than failed.
+  if (result.reads_skipped + result.reads_failed + result.io_retries > 0) {
+    std::cerr << "degraded: " << result.reads_skipped
+              << " malformed records skipped, " << result.reads_failed
+              << " reads passed through uncorrected, " << result.io_retries
+              << " transient I/O retries\n";
+  }
+  if (fault::Registry::instance().enabled()) {
+    std::cerr << "fault injection: " << fault::Registry::instance().summary()
+              << "\n";
   }
   std::cerr << "wrote " << cli.get("out") << " in " << timer.seconds()
             << "s (" << result.batches << " batches, peak "

@@ -16,18 +16,23 @@
 //
 // A saved index feeds `ngs-correct --load-index`, which mmaps it and
 // skips pass 1 entirely.
+//
+// Exit codes: 0 success, 2 usage/config error, 3 input open/parse
+// error, 4 index error (including verify failures), 1 internal error.
 
 #include <exception>
 #include <iostream>
 #include <optional>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "index/spectrum_index.hpp"
 #include "io/fastq_stream.hpp"
 #include "kspec/chunked_builder.hpp"
 #include "seq/kmer.hpp"
 #include "seq/read.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -187,8 +192,16 @@ int main(int argc, char** argv) {
                    "0");
     cli.add_option("batch-size", "reads per streamed parse batch", true,
                    "4096");
+    cli.add_option("fault-spec",
+                   "fault-injection spec (also read from NGS_FAULT_SPEC; "
+                   "testing only)",
+                   true, "");
   } else if (subcommand == "info" || subcommand == "verify") {
     cli.add_option("index", "index file to inspect", true, "");
+    cli.add_option("fault-spec",
+                   "fault-injection spec (also read from NGS_FAULT_SPEC; "
+                   "testing only)",
+                   true, "");
   } else {
     std::cerr << "ngs-index: unknown subcommand '" << subcommand << "'\n";
     print_usage(std::cerr);
@@ -204,14 +217,30 @@ int main(int argc, char** argv) {
   }
 
   try {
+    fault::Registry::instance().configure_from_env();
+    if (!cli.get("fault-spec").empty()) {
+      fault::Registry::instance().configure(cli.get("fault-spec"));
+    }
+  } catch (const Error& e) {
+    std::cerr << "ngs-index " << subcommand << ": " << e.what() << "\n";
+    return tool_exit_code(e.kind());
+  }
+
+  try {
     if (subcommand == "build") return run_build(cli);
     if (subcommand == "info") return run_info(cli);
     return run_verify(cli);
-  } catch (const index::IndexError& e) {
+  } catch (const Error& e) {
+    // IndexError derives from Error with kind kIndex, so corrupt or
+    // missing indexes land on exit code 4; input open/parse on 3.
     std::cerr << "ngs-index " << subcommand << ": " << e.what() << "\n";
-    return 1;
+    return tool_exit_code(e.kind());
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "ngs-index " << subcommand << ": " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
-    std::cerr << "ngs-index " << subcommand << ": " << e.what() << "\n";
+    std::cerr << "ngs-index " << subcommand << ": internal error: " << e.what()
+              << "\n";
     return 1;
   }
 }
