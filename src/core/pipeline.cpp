@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
@@ -14,9 +15,14 @@
 #include "index/spectrum_index.hpp"
 #include "io/fastx.hpp"
 #include "kspec/chunked_builder.hpp"
+#include "util/atomic_file.hpp"
 #include "util/memory.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace ngs::core {
 
@@ -27,6 +33,30 @@ std::string checksum_hex(std::uint64_t checksum) {
   os << "0x" << std::hex << checksum;
   return os.str();
 }
+
+/// Unique sibling name for the transient sharded index of a budget run
+/// that is not also saving an index (removed when the run ends).
+std::string transient_index_path(const std::string& dir) {
+  static std::atomic<unsigned long> seq{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return dir + "/ngs_spectrum_" + std::to_string(pid) + "_" +
+         std::to_string(seq.fetch_add(1)) + ".ngsx";
+}
+
+/// Removes a transient file when the run leaves scope (success or
+/// unwind). Deferred to scope exit rather than unlinked eagerly so the
+/// non-POSIX sharded view — which reopens the file per shard — keeps
+/// working through pass 2.
+struct FileRemover {
+  std::string path;
+  ~FileRemover() {
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
 
 }  // namespace
 
@@ -43,17 +73,20 @@ CorrectionPipeline::~CorrectionPipeline() = default;
 
 PipelineResult CorrectionPipeline::run_file(const std::string& in_fastq,
                                             const std::string& out_fastq) {
-  // Atomic output, mirroring the index writer: correct into a sibling
+  // Atomic output via the shared util::AtomicFile protocol (the same
+  // one the index writers use): correct into a uniquely named sibling
   // temp file and rename over the target only on success, so a failed
   // or interrupted run never leaves a truncated corrected FASTQ where
   // downstream tooling expects a complete one.
-  const std::string tmp = out_fastq + ".tmp";
+  util::AtomicFileOptions atomic_options;
+  atomic_options.error_site = fault::sites::kOutputWrite;
+  util::AtomicFile out_file(out_fastq, atomic_options);
   PipelineResult result;
-  try {
-    std::ofstream os(tmp);
+  {
+    std::ofstream os(out_file.temp_path());
     if (!os) {
       throw Error(ErrorKind::kIo, fault::sites::kOutputWrite,
-                  "cannot open for writing: " + tmp);
+                  "cannot open for writing: " + out_file.temp_path());
     }
     result = run(
         [&in_fastq]() -> std::unique_ptr<std::istream> {
@@ -63,17 +96,10 @@ PipelineResult CorrectionPipeline::run_file(const std::string& in_fastq,
     os.close();
     if (!os) {
       throw Error(ErrorKind::kIo, fault::sites::kOutputWrite,
-                  "error finalizing output: " + tmp);
+                  "error finalizing output: " + out_file.temp_path());
     }
-  } catch (...) {
-    std::remove(tmp.c_str());
-    throw;
   }
-  if (std::rename(tmp.c_str(), out_fastq.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw Error(ErrorKind::kIo, fault::sites::kOutputWrite,
-                "cannot rename " + tmp + " to " + out_fastq);
-  }
+  out_file.commit();  // throws kIo and removes the temp on failure
   return result;
 }
 
@@ -122,6 +148,9 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
   std::uint64_t index_checksum = 0;
   std::uint64_t pass1_skipped_records = 0;
   bool index_saved = false;
+  // Outlives pass 2: the transient sharded index of a budget run must
+  // stay on disk while the lazy view still serves shards from it.
+  FileRemover temp_index;
   if (corrector_->spectrum_k() > 0) {
     result.streamed = true;
     if (!options_.load_index_path.empty()) {
@@ -162,10 +191,13 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
       if (options_.spectrum_threads > 0) {
         spectrum_pool.emplace(options_.spectrum_threads);
       }
+      kspec::SpillOptions spill;
+      spill.memory_budget_bytes = options_.memory_budget_bytes;
+      spill.spill_dir = options_.spill_dir;
       kspec::ChunkedSpectrumBuilder builder(
           corrector_->spectrum_k(), corrector_->spectrum_both_strands(),
           options_.spectrum_batch_instances,
-          spectrum_pool ? &*spectrum_pool : &pool);
+          spectrum_pool ? &*spectrum_pool : &pool, spill);
       auto is = open_with_retry();
       io::FastqStreamReader reader(*is);
       reader.set_bad_record_policy(options_.on_bad_record);
@@ -179,20 +211,62 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
         in_batch.clear();
       }
       pass1_skipped_records = reader.records_skipped();
-      kspec::KSpectrum spectrum = builder.finish();
-      if (!options_.save_index_path.empty()) {
-        ngs::index::IndexBuildInfo build;
-        build.k = corrector_->spectrum_k();
-        build.both_strands = corrector_->spectrum_both_strands();
-        build.input_reads = result.input.reads;
-        build.input_bases = result.input.bases;
-        build.max_read_length =
-            static_cast<std::uint32_t>(result.input.max_read_length);
-        index_checksum = ngs::index::write_spectrum_index(
-            options_.save_index_path, spectrum, build);
-        index_saved = true;
+      ngs::index::IndexBuildInfo build;
+      build.k = corrector_->spectrum_k();
+      build.both_strands = corrector_->spectrum_both_strands();
+      build.input_reads = result.input.reads;
+      build.input_bases = result.input.bases;
+      build.max_read_length =
+          static_cast<std::uint32_t>(result.input.max_read_length);
+      bool spectrum_built = false;
+      if (builder.spilled()) {
+        builder.flush_spill();
+        result.spectrum_spilled = true;
+        result.spectrum_spilled_bytes = builder.spill_bytes();
+        const std::size_t bins = builder.spill_nonempty_bins();
+        if (bins > 1) {
+          // Out-of-core finalization: stream the sorted prefix bins
+          // straight into a sharded index file — the full spectrum
+          // never exists in this process — then serve pass 2 from the
+          // file's lazily mapped shards. Saved when the caller asked
+          // for an index; otherwise a transient file removed at scope
+          // exit (see FileRemover).
+          const bool keep = !options_.save_index_path.empty();
+          const std::string index_path =
+              keep ? options_.save_index_path
+                   : transient_index_path(builder.spill_dir());
+          if (!keep) temp_index.path = index_path;
+          {
+            ngs::index::ShardedIndexWriter writer(
+                index_path, build, builder.spill_shard_bits(), bins);
+            builder.finish_spilled(
+                [&writer](kspec::ChunkedSpectrumBuilder::SortedRun&& run) {
+                  writer.append_shard(run.prefix, std::move(run.codes),
+                                      std::move(run.counts));
+                });
+            index_checksum = writer.finish();
+          }
+          index_saved = keep;
+          const auto index = ngs::index::SpectrumIndex::load(index_path);
+          result.spectrum_shards = index.info().shard_count;
+          corrector_->build_from_spectrum(index.share_spectrum(),
+                                          result.input);
+          spectrum_built = true;
+        }
+        // A single non-empty bin falls through to finish(): the
+        // concatenation path rebuilds the monolithic arrays, so the
+        // save below still writes byte-identical version-1 output.
       }
-      corrector_->build_from_spectrum(std::move(spectrum), result.input);
+      if (!spectrum_built) {
+        kspec::KSpectrum spectrum = builder.finish();
+        if (!options_.save_index_path.empty()) {
+          index_checksum = ngs::index::write_spectrum_index(
+              options_.save_index_path, spectrum, build);
+          index_saved = true;
+        }
+        corrector_->build_from_spectrum(std::move(spectrum), result.input);
+      }
+      result.spectrum_peak_tracked_bytes = builder.peak_tracked_bytes();
     }
     // Pass 2: re-stream, correct each batch in parallel, write in order.
     auto is = open_with_retry();
@@ -292,6 +366,15 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
   }
   if (result.io_retries > 0) {
     result.report.bump("io_retries", result.io_retries);
+  }
+  // Out-of-core telemetry, omitted on non-spilled runs so their reports
+  // stay byte-identical to pre-sharding ones.
+  if (result.spectrum_spilled) {
+    result.report.bump("spectrum_spilled", 1);
+    result.report.bump("spectrum_spill_bytes", result.spectrum_spilled_bytes);
+    if (result.spectrum_shards > 0) {
+      result.report.bump("spectrum_shards", result.spectrum_shards);
+    }
   }
   result.peak_rss_bytes = util::peak_rss_bytes();
   return result;

@@ -54,8 +54,21 @@ struct PipelineOptions {
   /// When non-empty, persist the freshly built pass-1 spectrum (plus
   /// input provenance) to this path for future --load-index runs.
   /// Streaming methods only; ignored when load_index_path is set (there
-  /// is nothing new to save).
+  /// is nothing new to save). A budget-constrained build that spilled
+  /// into multiple prefix bins is saved in the sharded version-2 format;
+  /// otherwise the monolithic version-1 bytes are unchanged.
   std::string save_index_path;
+  /// Bound (bytes) on the pass-1 spectrum build's own tracked memory
+  /// (kspec::SpillOptions::memory_budget_bytes): when the k-spectrum
+  /// exceeds it, instances spill to per-prefix disk bins and pass 2
+  /// queries the spectrum shard-by-shard through a sharded index file
+  /// instead of one in-memory array. 0 = unlimited (the default
+  /// in-memory build). Streaming methods only. Corrected output is
+  /// byte-identical to an unconstrained run.
+  std::size_t memory_budget_bytes = 0;
+  /// Directory for spill bins and the transient sharded index of a
+  /// budget-constrained run; "" = the system temp directory.
+  std::string spill_dir;
   /// Malformed-FASTQ policy (ngs-correct --on-bad-record). kFail aborts
   /// with a located parse error; kSkip counts and drops bad records
   /// (reported as reads_skipped) and keeps going — both passes apply
@@ -98,6 +111,17 @@ struct PipelineResult {
   /// Transient input-open failures absorbed by the bounded retry (also
   /// report extra "io_retries").
   std::uint64_t io_retries = 0;
+  /// True when the pass-1 build exceeded memory_budget_bytes and went
+  /// through the spill path.
+  bool spectrum_spilled = false;
+  /// Shards in the sharded index pass 2 queried (0 when not spilled or
+  /// when a single bin collapsed back to a monolithic spectrum).
+  std::size_t spectrum_shards = 0;
+  /// Bytes written to the spill bins during pass 1.
+  std::uint64_t spectrum_spilled_bytes = 0;
+  /// The spectrum builder's own peak memory accounting
+  /// (ChunkedSpectrumBuilder::peak_tracked_bytes; 0 without a budget).
+  std::uint64_t spectrum_peak_tracked_bytes = 0;
 };
 
 class CorrectionPipeline {

@@ -39,6 +39,16 @@ inline constexpr const char* kIndexChecksum = "index.checksum";
 /// A write while serializing the index fails (disk full); the atomic
 /// writer must leave no temp file and never touch the target.
 inline constexpr const char* kIndexWrite = "index.write";
+/// Mapping one shard of a sharded (v2) index fails; the lazy view must
+/// fall back to an owned-buffer read with identical lookup results.
+inline constexpr const char* kShardMmap = "index.shard_mmap";
+
+// --- kspec: out-of-core spectrum build (src/kspec/radix.cpp) -----------
+/// Appending instances to a spill bin fails (disk full) during a
+/// bounded-memory (--memory-budget-mb) pass-1 build.
+inline constexpr const char* kSpillWrite = "kspec.spill.write";
+/// Reading a spill bin back for its per-bin sort/count fails.
+inline constexpr const char* kSpillRead = "kspec.spill.read";
 
 // --- core: correction pipeline (src/core/pipeline.cpp) -----------------
 /// Opening the input stream fails transiently; fault::with_retry
@@ -64,6 +74,7 @@ inline constexpr const char* kMapTask = "mapreduce.map_task";
 inline constexpr const char* kAll[] = {
     kFastqOpen,      kFastqRead,  kFastqMalformed, kIndexOpen,
     kIndexMmap,      kIndexShortRead, kIndexChecksum, kIndexWrite,
+    kShardMmap,      kSpillWrite, kSpillRead,
     kOpenInputTransient, kPass2Batch, kPass2Read,  kOutputWrite,
     kMapTask,
 };

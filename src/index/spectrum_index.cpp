@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "fault/fault.hpp"
+#include "index/sharded_view.hpp"
+#include "util/atomic_file.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define NGS_INDEX_POSIX 1
@@ -40,6 +42,7 @@ const char* section_name(SectionId id) {
     case SectionId::kCodes: return "codes";
     case SectionId::kCounts: return "counts";
     case SectionId::kBucketStarts: return "bucket_starts";
+    case SectionId::kShardTable: return "shard_table";
   }
   return "unknown";
 }
@@ -87,23 +90,6 @@ struct FdGuard {
   }
 };
 
-void write_all(int fd, const void* data, std::size_t n,
-               const std::string& path) {
-  if (fault::should_fire(fault::sites::kIndexWrite)) {
-    fail(Kind::kIo, path, "write failed: injected fault at index.write");
-  }
-  const auto* p = static_cast<const unsigned char*>(data);
-  while (n > 0) {
-    const ::ssize_t w = ::write(fd, p, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      fail_errno(path, "write");
-    }
-    p += w;
-    n -= static_cast<std::size_t>(w);
-  }
-}
-
 void read_exact_at(int fd, void* data, std::size_t n, std::uint64_t offset,
                    const std::string& path) {
   if (fault::should_fire(fault::sites::kIndexShortRead)) {
@@ -124,24 +110,12 @@ void read_exact_at(int fd, void* data, std::size_t n, std::uint64_t offset,
   }
 }
 
-/// Best-effort directory-entry durability after the rename.
-void fsync_parent_dir(const std::string& path) {
-  const auto slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash == 0 ? 1 : slash);
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-}
-
 #endif  // NGS_INDEX_POSIX
 
 struct Metadata {
   IndexHeader header;
   std::vector<SectionEntry> table;
+  std::vector<ShardEntry> shards;  // v2 only
   std::uint64_t file_size = 0;
 };
 
@@ -165,13 +139,16 @@ Metadata parse_metadata(const unsigned char* head, std::size_t head_bytes,
     fail(Kind::kBadMagic, path,
          "bad magic — not an ngs spectrum index file");
   }
-  if (h.format_version != kFormatVersion) {
+  if (h.format_version != kFormatVersion &&
+      h.format_version != kFormatVersionSharded) {
     std::ostringstream os;
     os << "unsupported index format version " << h.format_version
-       << " (this build reads version " << kFormatVersion
+       << " (this build reads versions " << kFormatVersion << " and "
+       << kFormatVersionSharded
        << "; rebuild the index with this binary's ngs-index)";
     fail(Kind::kVersionSkew, path, os.str());
   }
+  const bool sharded = h.format_version == kFormatVersionSharded;
   if (h.endian_tag != kEndianTag) {
     fail(Kind::kEndianMismatch, path,
          "endianness mismatch — the index was written on a host with "
@@ -189,10 +166,31 @@ Metadata parse_metadata(const unsigned char* head, std::size_t head_bytes,
        << " bytes but the file has " << file_size;
     fail(Kind::kTruncated, path, os.str());
   }
-  if (h.section_count > 64) {
+  if (h.section_count > (sharded ? kMaxSectionsV2 : kMaxSectionsV1)) {
     std::ostringstream os;
     os << "implausible section count " << h.section_count;
     fail(Kind::kBadLayout, path, os.str());
+  }
+  if (!sharded) {
+    if (h.shard_count != 0 || h.shard_bits != 0) {
+      fail(Kind::kBadLayout, path,
+           "version-1 index carries nonzero shard fields");
+    }
+  } else {
+    if (h.shard_count < 2 || h.shard_count > kMaxShards ||
+        h.shard_bits < 1 || h.shard_bits > 8 ||
+        h.shard_bits > 2 * h.k ||
+        h.shard_count > (std::uint64_t{1} << h.shard_bits)) {
+      std::ostringstream os;
+      os << "implausible shard split (" << h.shard_count << " shards, "
+         << h.shard_bits << " shard bits, k=" << h.k << ")";
+      fail(Kind::kBadLayout, path, os.str());
+    }
+    if (h.prefix_bits != 0) {
+      fail(Kind::kBadLayout, path,
+           "sharded index carries a global prefix table (per-shard "
+           "tables are required)");
+    }
   }
   const std::uint64_t table_end =
       sizeof(IndexHeader) +
@@ -257,6 +255,63 @@ const SectionEntry* find_section(const Metadata& meta, SectionId id) {
   return nullptr;
 }
 
+/// v2: the section of `id` belonging to shard `prefix`.
+const SectionEntry& require_shard_section(const Metadata& meta, SectionId id,
+                                          std::uint32_t prefix,
+                                          const std::string& path) {
+  for (const auto& entry : meta.table) {
+    if (entry.id == static_cast<std::uint32_t>(id) &&
+        entry.shard_prefix == prefix) {
+      return entry;
+    }
+  }
+  std::ostringstream os;
+  os << "missing section '" << section_name(id) << "' for shard " << prefix;
+  fail(Kind::kBadLayout, path, os.str());
+}
+
+/// Streaming whole-section checksum verification for files that are not
+/// mapped in one piece (the sharded load): every section is re-read in
+/// bounded chunks and checked against its table row.
+void verify_sections_streaming(const Metadata& meta, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    fail(Kind::kIo, path,
+         std::string("open failed: ") + std::strerror(errno));
+  }
+  std::vector<unsigned char> buf(1 << 20);
+  for (const auto& entry : meta.table) {
+    if (std::fseek(f, static_cast<long>(entry.offset), SEEK_SET) != 0) {
+      std::fclose(f);
+      fail(Kind::kIo, path, "seek failed");
+    }
+    std::uint64_t state = kFnv1aOffset;
+    std::uint64_t left = entry.bytes;
+    while (left > 0) {
+      const std::size_t want =
+          static_cast<std::size_t>(std::min<std::uint64_t>(left, buf.size()));
+      if (std::fread(buf.data(), 1, want, f) != want) {
+        std::fclose(f);
+        fail(Kind::kTruncated, path, "unexpected end of file verifying "
+             "section checksums");
+      }
+      state = fnv1a64(buf.data(), want, state);
+      left -= want;
+    }
+    if (state != entry.checksum) {
+      std::ostringstream os;
+      os << "checksum mismatch in section '"
+         << section_name(static_cast<SectionId>(entry.id)) << "' (shard "
+         << entry.shard_prefix << ", stored " << std::hex << entry.checksum
+         << ", computed " << state
+         << ") — the payload is corrupt; rebuild the index";
+      std::fclose(f);
+      fail(Kind::kChecksum, path, os.str());
+    }
+  }
+  std::fclose(f);
+}
+
 const SectionEntry& require_section(const Metadata& meta, SectionId id,
                                     const std::string& path) {
   const auto* entry = find_section(meta, id);
@@ -281,42 +336,129 @@ IndexInfo make_info(const Metadata& meta) {
   info.prefix_bits = static_cast<int>(h.prefix_bits);
   info.file_bytes = h.file_bytes;
   info.checksum = h.header_checksum;
+  info.shard_count = h.shard_count;
+  info.shard_bits = h.shard_bits;
   for (const auto& entry : meta.table) {
     info.sections.push_back({static_cast<SectionId>(entry.id), entry.offset,
-                             entry.bytes, entry.checksum});
+                             entry.bytes, entry.checksum,
+                             entry.shard_prefix});
+  }
+  for (const auto& shard : meta.shards) {
+    info.shards.push_back({shard.prefix, shard.prefix_index_bits,
+                           shard.distinct, shard.total_instances});
   }
   return info;
+}
+
+/// Structural validation of the v2 shard rows against the header: the
+/// rows must partition the key space ascending and their entry counts
+/// must sum to the header's totals.
+void validate_shard_rows(const Metadata& meta, const std::string& path) {
+  const IndexHeader& h = meta.header;
+  std::uint64_t distinct = 0, total = 0;
+  for (std::size_t i = 0; i < meta.shards.size(); ++i) {
+    const ShardEntry& s = meta.shards[i];
+    if (s.prefix >= (std::uint64_t{1} << h.shard_bits) ||
+        (i > 0 && meta.shards[i - 1].prefix >= s.prefix)) {
+      fail(Kind::kBadLayout, path,
+           "shard table prefixes are not ascending within the shard "
+           "split range");
+    }
+    if (s.prefix_index_bits > std::min<std::uint32_t>(2 * h.k, 24)) {
+      std::ostringstream os;
+      os << "shard " << s.prefix << " declares implausible "
+         << "prefix_index_bits " << s.prefix_index_bits;
+      fail(Kind::kBadLayout, path, os.str());
+    }
+    if (s.distinct == 0) {
+      std::ostringstream os;
+      os << "shard " << s.prefix << " is empty (empty bins must be "
+         << "omitted from the shard table)";
+      fail(Kind::kBadLayout, path, os.str());
+    }
+    distinct += s.distinct;
+    total += s.total_instances;
+  }
+  if (distinct != h.distinct || total != h.total_instances) {
+    std::ostringstream os;
+    os << "shard table sums (" << distinct << " distinct, " << total
+       << " instances) do not match the header (" << h.distinct << ", "
+       << h.total_instances << ")";
+    fail(Kind::kBadLayout, path, os.str());
+  }
+}
+
+/// Reads and verifies the v2 shard-table payload (tiny: ≤ kMaxShards
+/// rows) via `read_at(dst, bytes, offset)`.
+template <typename ReadAt>
+void load_shard_table(Metadata& meta, const std::string& path,
+                      const ReadAt& read_at) {
+  if (meta.header.format_version != kFormatVersionSharded) return;
+  const SectionEntry& st =
+      require_section(meta, SectionId::kShardTable, path);
+  check_section(st, std::uint64_t{meta.header.shard_count} * sizeof(ShardEntry),
+                meta, path);
+  meta.shards.resize(meta.header.shard_count);
+  read_at(meta.shards.data(), static_cast<std::size_t>(st.bytes), st.offset);
+  // The table is metadata in all but placement — always verify it, so a
+  // load can never route queries through corrupt shard geometry.
+  const std::uint64_t actual =
+      fnv1a64(meta.shards.data(), static_cast<std::size_t>(st.bytes));
+  if (actual != st.checksum) {
+    std::ostringstream os;
+    os << "checksum mismatch in section 'shard_table' (stored " << std::hex
+       << st.checksum << ", computed " << actual
+       << ") — the shard table is corrupt";
+    fail(Kind::kChecksum, path, os.str());
+  }
+  validate_shard_rows(meta, path);
 }
 
 Metadata read_metadata_from_file(const std::string& path) {
   if (fault::should_fire(fault::sites::kIndexOpen)) {
     fail(Kind::kIo, path, "open failed: injected fault at index.open");
   }
+  // One bounded read covers the header and the (validated-size) table —
+  // sized for the larger v2 cap; v1 files are typically smaller than
+  // even the v1 bound.
+  const std::uint64_t head_cap =
+      sizeof(IndexHeader) + kMaxSectionsV2 * sizeof(SectionEntry);
 #if NGS_INDEX_POSIX
   FdGuard fd{::open(path.c_str(), O_RDONLY)};
   if (fd.fd < 0) fail_errno(path, "open");
   struct ::stat st{};
   if (::fstat(fd.fd, &st) != 0) fail_errno(path, "stat");
   const auto file_size = static_cast<std::uint64_t>(st.st_size);
-  // One bounded read covers the header and the (validated-size) table.
-  std::vector<unsigned char> head(
-      static_cast<std::size_t>(std::min<std::uint64_t>(
-          file_size, sizeof(IndexHeader) + 64 * sizeof(SectionEntry))));
+  std::vector<unsigned char> head(static_cast<std::size_t>(
+      std::min<std::uint64_t>(file_size, head_cap)));
   if (!head.empty()) read_exact_at(fd.fd, head.data(), head.size(), 0, path);
-  return parse_metadata(head.data(), head.size(), file_size, path);
+  Metadata meta = parse_metadata(head.data(), head.size(), file_size, path);
+  load_shard_table(meta, path,
+                   [&](void* dst, std::size_t bytes, std::uint64_t offset) {
+                     read_exact_at(fd.fd, dst, bytes, offset, path);
+                   });
+  return meta;
 #else
   std::ifstream is(path, std::ios::binary);
   if (!is) fail(Kind::kIo, path, "open failed");
   is.seekg(0, std::ios::end);
   const auto file_size = static_cast<std::uint64_t>(is.tellg());
   is.seekg(0);
-  std::vector<unsigned char> head(
-      static_cast<std::size_t>(std::min<std::uint64_t>(
-          file_size, sizeof(IndexHeader) + 64 * sizeof(SectionEntry))));
+  std::vector<unsigned char> head(static_cast<std::size_t>(
+      std::min<std::uint64_t>(file_size, head_cap)));
   is.read(reinterpret_cast<char*>(head.data()),
           static_cast<std::streamsize>(head.size()));
   if (!is) fail(Kind::kIo, path, "read failed");
-  return parse_metadata(head.data(), head.size(), file_size, path);
+  Metadata meta = parse_metadata(head.data(), head.size(), file_size, path);
+  load_shard_table(meta, path,
+                   [&](void* dst, std::size_t bytes, std::uint64_t offset) {
+                     is.clear();
+                     is.seekg(static_cast<std::streamoff>(offset));
+                     is.read(static_cast<char*>(dst),
+                             static_cast<std::streamsize>(bytes));
+                     if (!is) fail(Kind::kIo, path, "read failed");
+                   });
+  return meta;
 #endif
 }
 
@@ -363,6 +505,30 @@ std::shared_ptr<Mapping> map_file(const std::string& path,
 #endif
 }
 
+/// Fault gate + AtomicFile append, with the shared ngs::Error(kIo) the
+/// file raises rewrapped as IndexError so index writers keep their
+/// taxonomy (exit code 4) end to end.
+void emit_through(util::AtomicFile& file, const void* data,
+                  std::uint64_t bytes) {
+  if (fault::should_fire(fault::sites::kIndexWrite)) {
+    fail(Kind::kIo, file.temp_path(),
+         "write failed: injected fault at index.write");
+  }
+  try {
+    file.write(data, static_cast<std::size_t>(bytes));
+  } catch (const ngs::Error& e) {
+    throw IndexError(Kind::kIo, e.what());
+  }
+}
+
+util::AtomicFile make_index_file(const std::string& path) {
+  util::AtomicFileOptions options;
+  options.fsync_file = true;
+  options.fsync_dir = true;
+  options.error_site = "index.write";
+  return util::AtomicFile(path, options);
+}
+
 }  // namespace
 
 std::uint64_t write_spectrum_index(const std::string& path,
@@ -371,6 +537,11 @@ std::uint64_t write_spectrum_index(const std::string& path,
   if (build.k != spectrum.k()) {
     fail(Kind::kBadLayout, path,
          "build info k does not match the spectrum's k");
+  }
+  if (spectrum.sharded()) {
+    fail(Kind::kBadLayout, path,
+         "cannot serialize a sharded spectrum view monolithically — "
+         "the shards live in an index file already");
   }
   const auto codes = spectrum.codes();
   const auto counts = spectrum.counts();
@@ -416,75 +587,199 @@ std::uint64_t write_spectrum_index(const std::string& path,
   header.file_bytes = offset;
   header.header_checksum = meta_checksum(header, table);
 
-#if NGS_INDEX_POSIX
-  const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  FdGuard fd{::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644)};
-  if (fd.fd < 0) fail_errno(tmp, "open");
+  util::AtomicFile file = make_index_file(path);
+  static constexpr unsigned char kZeros[kSectionAlignment] = {};
+  emit_through(file, &header, sizeof(header));
+  emit_through(file, table.data(), table.size() * sizeof(SectionEntry));
+  const std::span<const unsigned char> payloads[] = {
+      {reinterpret_cast<const unsigned char*>(codes.data()),
+       codes.size_bytes()},
+      {reinterpret_cast<const unsigned char*>(counts.data()),
+       counts.size_bytes()},
+      {reinterpret_cast<const unsigned char*>(buckets.data()),
+       buckets.size_bytes()},
+  };
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    emit_through(file, kZeros, table[i].offset - file.offset());
+    emit_through(file, payloads[i].data(), payloads[i].size());
+  }
+  emit_through(file, kZeros, header.file_bytes - file.offset());
   try {
+    file.commit();
+  } catch (const ngs::Error& e) {
+    throw IndexError(Kind::kIo, e.what());
+  }
+  return header.header_checksum;
+}
+
+// --- ShardedIndexWriter ----------------------------------------------
+
+struct ShardedIndexWriter::Impl {
+  util::AtomicFile file;
+  IndexBuildInfo build;
+  int shard_bits = 0;
+  std::size_t shard_count = 0;
+  std::uint64_t metadata_region = 0;  // aligned header + table capacity
+  std::vector<SectionEntry> table;
+  std::vector<ShardEntry> shards;
+  bool finished = false;
+
+  explicit Impl(const std::string& path) : file(make_index_file(path)) {}
+};
+
+ShardedIndexWriter::ShardedIndexWriter(const std::string& path,
+                                       const IndexBuildInfo& build,
+                                       int shard_bits,
+                                       std::size_t shard_count)
+    : impl_(std::make_unique<Impl>(path)) {
+  if (shard_count < 2 || shard_count > kMaxShards) {
+    fail(Kind::kBadLayout, path,
+         "sharded writer needs 2..256 shards (write a single bin as a "
+         "version-1 index)");
+  }
+  if (shard_bits < 1 || shard_bits > 8 || shard_bits > 2 * build.k ||
+      shard_count > (std::size_t{1} << shard_bits)) {
+    fail(Kind::kBadLayout, path, "invalid shard split parameters");
+  }
+  impl_->build = build;
+  impl_->shard_bits = shard_bits;
+  impl_->shard_count = shard_count;
+  impl_->shards.reserve(shard_count);
+  impl_->table.reserve(3 * shard_count + 1);
+  // Reserve the worst-case metadata region (header + three sections per
+  // shard + the shard table) and fill it with zeros; finish() overwrites
+  // it in place once every offset and checksum is known.
+  impl_->metadata_region =
+      align_up(sizeof(IndexHeader) +
+               (3 * std::uint64_t{shard_count} + 1) * sizeof(SectionEntry));
+  std::vector<unsigned char> zeros(
+      static_cast<std::size_t>(impl_->metadata_region), 0);
+  emit_through(impl_->file, zeros.data(), zeros.size());
+}
+
+ShardedIndexWriter::~ShardedIndexWriter() = default;
+
+void ShardedIndexWriter::append_shard(std::uint32_t prefix,
+                                      std::vector<seq::KmerCode> codes,
+                                      std::vector<std::uint32_t> counts) {
+  Impl& im = *impl_;
+  const std::string& path = im.file.target_path();
+  if (im.finished) fail(Kind::kBadLayout, path, "writer already finished");
+  if (!im.shards.empty() && im.shards.back().prefix >= prefix) {
+    fail(Kind::kBadLayout, path, "shard prefixes must be appended ascending");
+  }
+  if (prefix >= (std::uint64_t{1} << im.shard_bits)) {
+    fail(Kind::kBadLayout, path, "shard prefix out of split range");
+  }
+  if (im.shards.size() >= im.shard_count) {
+    fail(Kind::kBadLayout, path, "more shards appended than declared");
+  }
+  if (codes.empty()) {
+    fail(Kind::kBadLayout, path,
+         "empty shard appended (omit empty bins and lower shard_count)");
+  }
+  // Route through from_sorted_counts: it builds the shard's own
+  // prefix-bucket table and (in debug builds) re-checks the sorted-
+  // unique invariant the concatenation identity rests on.
+  kspec::KSpectrum shard = kspec::KSpectrum::from_sorted_counts(
+      std::move(codes), std::move(counts), im.build.k);
+  const int shift = 2 * im.build.k - im.shard_bits;
+  if (!shard.empty() &&
+      ((shard.codes().front() >> shift) != prefix ||
+       (shard.codes().back() >> shift) != prefix)) {
+    fail(Kind::kBadLayout, path,
+         "shard codes fall outside the declared prefix range");
+  }
+
+  const auto emit_section = [&](SectionId id, const void* data,
+                                std::uint64_t bytes) {
     static constexpr unsigned char kZeros[kSectionAlignment] = {};
-    std::uint64_t written = 0;
-    const auto emit = [&](const void* data, std::uint64_t bytes) {
-      write_all(fd.fd, data, static_cast<std::size_t>(bytes), tmp);
-      written += bytes;
-    };
-    emit(&header, sizeof(header));
-    emit(table.data(), table.size() * sizeof(SectionEntry));
-    const std::span<const unsigned char> payloads[] = {
-        {reinterpret_cast<const unsigned char*>(codes.data()),
-         codes.size_bytes()},
-        {reinterpret_cast<const unsigned char*>(counts.data()),
-         counts.size_bytes()},
-        {reinterpret_cast<const unsigned char*>(buckets.data()),
-         buckets.size_bytes()},
-    };
-    for (std::size_t i = 0; i < table.size(); ++i) {
-      emit(kZeros, table[i].offset - written);  // alignment padding
-      emit(payloads[i].data(), payloads[i].size());
-    }
-    emit(kZeros, header.file_bytes - written);  // trailing padding
-    if (::fsync(fd.fd) != 0) fail_errno(tmp, "fsync");
-  } catch (...) {
-    ::unlink(tmp.c_str());
-    throw;
+    const std::uint64_t offset = align_up(im.file.offset());
+    emit_through(im.file, kZeros, offset - im.file.offset());
+    SectionEntry entry{};
+    entry.id = static_cast<std::uint32_t>(id);
+    entry.shard_prefix = prefix;
+    entry.offset = offset;
+    entry.bytes = bytes;
+    entry.checksum = fnv1a64(data, static_cast<std::size_t>(bytes));
+    emit_through(im.file, data, bytes);
+    im.table.push_back(entry);
+  };
+  emit_section(SectionId::kCodes, shard.codes().data(),
+               shard.codes().size_bytes());
+  emit_section(SectionId::kCounts, shard.counts().data(),
+               shard.counts().size_bytes());
+  if (shard.prefix_index_bits() > 0) {
+    emit_section(SectionId::kBucketStarts, shard.bucket_starts().data(),
+                 shard.bucket_starts().size_bytes());
   }
-  ::close(fd.fd);
-  fd.fd = -1;
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    fail_errno(path, "rename");
+  ShardEntry row{};
+  row.prefix = prefix;
+  row.prefix_index_bits =
+      static_cast<std::uint32_t>(shard.prefix_index_bits());
+  row.distinct = shard.size();
+  row.total_instances = shard.total_instances();
+  im.shards.push_back(row);
+}
+
+std::uint64_t ShardedIndexWriter::finish() {
+  Impl& im = *impl_;
+  const std::string& path = im.file.target_path();
+  if (im.finished) fail(Kind::kBadLayout, path, "writer already finished");
+  if (im.shards.size() != im.shard_count) {
+    std::ostringstream os;
+    os << "finish after " << im.shards.size() << " shards, " << im.shard_count
+       << " declared";
+    fail(Kind::kBadLayout, path, os.str());
   }
-  fsync_parent_dir(path);
-#else
-  const std::string tmp = path + ".tmp";
+  static constexpr unsigned char kZeros[kSectionAlignment] = {};
   {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) fail(Kind::kIo, tmp, "open failed");
-    static constexpr char kZeros[kSectionAlignment] = {};
-    std::uint64_t written = 0;
-    const auto emit = [&](const void* data, std::uint64_t bytes) {
-      os.write(static_cast<const char*>(data),
-               static_cast<std::streamsize>(bytes));
-      written += bytes;
-    };
-    emit(&header, sizeof(header));
-    emit(table.data(), table.size() * sizeof(SectionEntry));
-    const void* payload_ptrs[] = {codes.data(), counts.data(),
-                                  buckets.data()};
-    const std::uint64_t payload_bytes[] = {
-        codes.size_bytes(), counts.size_bytes(), buckets.size_bytes()};
-    for (std::size_t i = 0; i < table.size(); ++i) {
-      emit(kZeros, table[i].offset - written);
-      emit(payload_ptrs[i], payload_bytes[i]);
-    }
-    emit(kZeros, header.file_bytes - written);
-    if (!os) fail(Kind::kIo, tmp, "write failed");
+    const std::uint64_t offset = align_up(im.file.offset());
+    emit_through(im.file, kZeros, offset - im.file.offset());
+    SectionEntry entry{};
+    entry.id = static_cast<std::uint32_t>(SectionId::kShardTable);
+    entry.offset = offset;
+    entry.bytes = im.shards.size() * sizeof(ShardEntry);
+    entry.checksum = fnv1a64(im.shards.data(),
+                             static_cast<std::size_t>(entry.bytes));
+    emit_through(im.file, im.shards.data(), entry.bytes);
+    im.table.push_back(entry);
   }
-  std::remove(path.c_str());
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    fail(Kind::kIo, path, "rename failed");
+  const std::uint64_t file_bytes = align_up(im.file.offset());
+  emit_through(im.file, kZeros, file_bytes - im.file.offset());
+
+  IndexHeader header{};
+  std::memcpy(header.magic, kIndexMagic, sizeof(kIndexMagic));
+  header.format_version = kFormatVersionSharded;
+  header.header_bytes = sizeof(IndexHeader);
+  header.k = static_cast<std::uint32_t>(im.build.k);
+  header.flags = im.build.both_strands ? kFlagBothStrands : 0;
+  for (const auto& s : im.shards) {
+    header.distinct += s.distinct;
+    header.total_instances += s.total_instances;
   }
-#endif
+  header.prefix_bits = 0;  // per-shard tables only
+  header.section_count = static_cast<std::uint32_t>(im.table.size());
+  header.input_reads = im.build.input_reads;
+  header.input_bases = im.build.input_bases;
+  header.max_read_length = im.build.max_read_length;
+  header.endian_tag = kEndianTag;
+  header.file_bytes = file_bytes;
+  header.shard_count = static_cast<std::uint32_t>(im.shards.size());
+  header.shard_bits = static_cast<std::uint32_t>(im.shard_bits);
+  header.header_checksum = meta_checksum(header, im.table);
+
+  try {
+    im.file.write_at(0, &header, sizeof(header));
+    im.file.write_at(sizeof(header), im.table.data(),
+                     im.table.size() * sizeof(SectionEntry));
+    im.file.commit();
+  } catch (const IndexError&) {
+    throw;
+  } catch (const ngs::Error& e) {
+    throw IndexError(Kind::kIo, e.what());
+  }
+  im.finished = true;
   return header.header_checksum;
 }
 
@@ -496,6 +791,100 @@ SpectrumIndex SpectrumIndex::load(const std::string& path,
                                   const LoadOptions& options) {
   const Metadata meta = read_metadata_from_file(path);
   const IndexHeader& h = meta.header;
+
+  if (h.format_version == kFormatVersionSharded) {
+    // Sharded file: validate each shard's section geometry up front,
+    // then hand the (unread) payload regions to a lazy view.
+    std::vector<ShardRegion> regions;
+    regions.reserve(meta.shards.size());
+    for (const auto& shard : meta.shards) {
+      const SectionEntry& codes_sec = require_shard_section(
+          meta, SectionId::kCodes, shard.prefix, path);
+      const SectionEntry& counts_sec = require_shard_section(
+          meta, SectionId::kCounts, shard.prefix, path);
+      check_section(codes_sec, shard.distinct * sizeof(seq::KmerCode), meta,
+                    path);
+      check_section(counts_sec, shard.distinct * sizeof(std::uint32_t), meta,
+                    path);
+      ShardRegion region;
+      region.prefix = shard.prefix;
+      region.prefix_index_bits = shard.prefix_index_bits;
+      region.distinct = shard.distinct;
+      region.total_instances = shard.total_instances;
+      region.codes_offset = codes_sec.offset;
+      region.counts_offset = counts_sec.offset;
+      if (shard.prefix_index_bits > 0) {
+        const SectionEntry& buckets_sec = require_shard_section(
+            meta, SectionId::kBucketStarts, shard.prefix, path);
+        check_section(buckets_sec,
+                      ((std::uint64_t{1} << shard.prefix_index_bits) + 1) *
+                          sizeof(std::uint64_t),
+                      meta, path);
+        region.buckets_offset = buckets_sec.offset;
+        region.buckets_bytes = buckets_sec.bytes;
+      }
+      regions.push_back(region);
+    }
+
+    if (options.verify_checksums) verify_sections_streaming(meta, path);
+
+    auto view = std::make_shared<ShardedSpectrumView>(
+        path, static_cast<int>(h.k), static_cast<int>(h.shard_bits),
+        std::move(regions), options.use_mmap);
+
+    if (options.validate_payload) {
+      const int shift = 2 * static_cast<int>(h.k) -
+                        static_cast<int>(h.shard_bits);
+      for (const auto& shard : meta.shards) {
+        const kspec::KSpectrum* s = view->shard(shard.prefix);
+        if (s == nullptr || s->size() != shard.distinct) {
+          fail(Kind::kInvalidPayload, path,
+               "invalid spectrum payload: shard size mismatch");
+        }
+        if (const auto err = kspec::KSpectrum::validate_sorted_counts(
+                s->codes(), s->counts(), static_cast<int>(h.k))) {
+          std::ostringstream os;
+          os << "invalid spectrum payload in shard " << shard.prefix << ": "
+             << *err;
+          fail(Kind::kInvalidPayload, path, os.str());
+        }
+        if ((s->codes().front() >> shift) != shard.prefix ||
+            (s->codes().back() >> shift) != shard.prefix) {
+          std::ostringstream os;
+          os << "invalid spectrum payload: shard " << shard.prefix
+             << " holds codes outside its prefix range";
+          fail(Kind::kInvalidPayload, path, os.str());
+        }
+        std::uint64_t total = 0;
+        for (const std::uint32_t c : s->counts()) total += c;
+        if (total != shard.total_instances) {
+          std::ostringstream os;
+          os << "invalid spectrum payload: shard " << shard.prefix
+             << " counts sum to " << total << " but the shard table "
+             << "declares " << shard.total_instances;
+          fail(Kind::kInvalidPayload, path, os.str());
+        }
+        const auto buckets = s->bucket_starts();
+        if (!buckets.empty() &&
+            (buckets.front() != 0 || buckets.back() != shard.distinct ||
+             !std::is_sorted(buckets.begin(), buckets.end()))) {
+          std::ostringstream os;
+          os << "invalid spectrum payload: shard " << shard.prefix
+             << " bucket table does not partition the shard";
+          fail(Kind::kInvalidPayload, path, os.str());
+        }
+      }
+    }
+
+    SpectrumIndex index;
+    index.path_ = path;
+    index.info_ = make_info(meta);
+    index.info_.mapped = options.use_mmap;
+    index.spectrum_ = kspec::KSpectrum::from_shards(
+        view, view->shard_starts(), static_cast<int>(h.shard_bits),
+        static_cast<int>(h.k), h.total_instances);
+    return index;
+  }
 
   const SectionEntry& codes_sec =
       require_section(meta, SectionId::kCodes, path);

@@ -11,13 +11,19 @@
 //
 //   write_spectrum_index — serializes a KSpectrum (+ build provenance)
 //       into the versioned binary format of format.hpp, atomically
-//       (write to tmp + fsync + rename), so readers never observe a
-//       torn file;
+//       (util::AtomicFile: write to tmp + fsync + rename), so readers
+//       never observe a torn file;
+//   ShardedIndexWriter — the out-of-core writer: streams finished
+//       prefix-bin runs (ChunkedSpectrumBuilder::finish_spilled) into a
+//       version-2 sharded file one shard at a time, so the full
+//       spectrum never exists in memory on the write side either;
 //   SpectrumIndex::load — maps the file and serves a zero-copy
 //       KSpectrum view straight out of the mapped pages (no
 //       deserialization: the code/count/bucket arrays are spans over
 //       the mapping, 64-byte aligned by construction), falling back to
 //       an owned read() buffer when mmap is unavailable or declined.
+//       A sharded file loads as a lazy facade (ShardedSpectrumView):
+//       shards are mapped individually on first query.
 //
 // Loaded views share ownership of the mapping through the spectrum's
 // keepalive handle, so a KSpectrum obtained here can be moved into a
@@ -91,16 +97,33 @@ struct IndexInfo {
   /// serves as the whole-file fingerprint surfaced as `index_checksum`.
   std::uint64_t checksum = 0;
 
+  /// Version-2 shard split (0/0 on a monolithic version-1 file).
+  std::uint32_t shard_count = 0;
+  std::uint32_t shard_bits = 0;
+
   struct Section {
     SectionId id;
     std::uint64_t offset = 0;
     std::uint64_t bytes = 0;
     std::uint64_t checksum = 0;
+    /// Owning shard's prefix key (per-shard sections of a v2 file).
+    std::uint32_t shard_prefix = 0;
   };
   std::vector<Section> sections;
 
+  /// Per-shard rows of a version-2 file, ascending by prefix.
+  struct Shard {
+    std::uint32_t prefix = 0;
+    std::uint32_t prefix_index_bits = 0;
+    std::uint64_t distinct = 0;
+    std::uint64_t total_instances = 0;
+  };
+  std::vector<Shard> shards;
+
   /// True when the payload is served from an mmap (zero-copy), false on
-  /// the owned-buffer fallback path.
+  /// the owned-buffer fallback path. On a sharded load this reports the
+  /// mapping intent — each shard maps lazily on first touch (with a
+  /// per-shard owned-read fallback).
   bool mapped = false;
 };
 
@@ -113,6 +136,43 @@ struct IndexInfo {
 std::uint64_t write_spectrum_index(const std::string& path,
                                    const kspec::KSpectrum& spectrum,
                                    const IndexBuildInfo& build);
+
+/// Streaming writer for the version-2 sharded format: shards (disjoint
+/// ascending prefix-bin (code, count) runs, e.g. straight out of
+/// ChunkedSpectrumBuilder::finish_spilled) are appended one at a time
+/// and written to disk immediately, so peak memory is one shard — the
+/// full spectrum never exists on the write side. The file is built in a
+/// util::AtomicFile temp and renamed into place by finish(); dropping
+/// the writer without finish() removes the temp. Requires
+/// shard_count >= 2 (a single bin should be written as a monolithic
+/// version-1 file via write_spectrum_index — byte-identical to a
+/// non-spilled build). Throws IndexError on any failure.
+class ShardedIndexWriter {
+ public:
+  /// `shard_count` must equal the number of append_shard calls to come;
+  /// `shard_bits` the prefix width the codes were split by.
+  ShardedIndexWriter(const std::string& path, const IndexBuildInfo& build,
+                     int shard_bits, std::size_t shard_count);
+  ~ShardedIndexWriter();
+  ShardedIndexWriter(const ShardedIndexWriter&) = delete;
+  ShardedIndexWriter& operator=(const ShardedIndexWriter&) = delete;
+
+  /// Writes one shard: `codes` strictly ascending, all with top
+  /// shard_bits equal to `prefix`, prefixes strictly ascending across
+  /// calls. Builds the shard's own prefix-bucket table en route.
+  void append_shard(std::uint32_t prefix,
+                    std::vector<seq::KmerCode> codes,
+                    std::vector<std::uint32_t> counts);
+
+  /// Seals the file: writes the shard table and the final header, then
+  /// atomically renames into place. Returns the file's checksum
+  /// fingerprint. Must follow exactly shard_count append_shard calls.
+  std::uint64_t finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 struct LoadOptions {
   /// Map the file read-only and serve the spectrum zero-copy from the

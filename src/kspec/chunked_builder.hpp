@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <functional>
 #include <istream>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "kspec/kspectrum.hpp"
@@ -32,15 +34,42 @@ class ThreadPool;
 
 namespace ngs::kspec {
 
+class SpillPartitioner;
+
+/// Out-of-core controls for the bounded-memory (KMC/RECKONER-style)
+/// build path. With a non-zero budget the builder buffers raw instances
+/// up to roughly a third of the budget, then routes everything through
+/// a SpillPartitioner: prefix bins on disk, each small enough to sort
+/// and count independently, delivered in ascending prefix order by
+/// finish_spilled(). With budget 0 (the default) nothing here is used
+/// and the builder behaves exactly as before.
+struct SpillOptions {
+  /// Peak bytes the build may hold in its own tracked structures
+  /// (instance buffer + spill-bin buffers + per-bin finish arrays);
+  /// 0 = unlimited (never spill). See peak_tracked_bytes() for what is
+  /// counted — thread-pool stacks and malloc overhead are not.
+  std::size_t memory_budget_bytes = 0;
+  /// Directory for the per-bin spill files; "" = the system temp dir.
+  std::string spill_dir;
+  /// Prefix width of the disk partition: 2^shard_bits bins, clamped to
+  /// [1, min(8, 2k)]. 64 bins keeps per-bin memory ~1/64 of the
+  /// instance volume on uniform data while the shard table stays tiny.
+  int shard_bits = 6;
+};
+
 class ChunkedSpectrumBuilder {
  public:
   /// `batch_instances` bounds the number of kmer instances buffered
   /// before a batch is sorted and merged (the "portion of main memory").
   /// `pool` runs batch sorts and run merges; nullptr = the shared
-  /// default pool.
+  /// default pool. A non-zero `spill.memory_budget_bytes` switches to
+  /// the out-of-core path (batch_instances is then superseded by the
+  /// budget-derived spill threshold).
   explicit ChunkedSpectrumBuilder(int k, bool both_strands = true,
                                   std::size_t batch_instances = 1 << 20,
-                                  util::ThreadPool* pool = nullptr);
+                                  util::ThreadPool* pool = nullptr,
+                                  SpillOptions spill = {});
+  ~ChunkedSpectrumBuilder();
 
   /// Streams one read's kmers into the current batch.
   void add_read(std::string_view bases);
@@ -52,11 +81,58 @@ class ChunkedSpectrumBuilder {
   void add_fastq(std::istream& fastq);
 
   /// Finalizes: flushes the last batch and returns the spectrum.
-  /// The builder is left empty and reusable.
+  /// The builder is left empty and reusable. On a spilled build this
+  /// concatenates the finish_spilled() runs into one owned spectrum —
+  /// memory then scales with the distinct volume again; callers that
+  /// need the bounded-memory guarantee end-to-end stream through
+  /// finish_spilled() into an index::ShardedIndexWriter instead.
   KSpectrum finish(int* merge_rounds = nullptr);
+
+  /// One finished prefix bin: the top shard_bits of every code equal
+  /// `prefix`, and codes are strictly ascending within the run.
+  struct SortedRun {
+    std::uint32_t prefix = 0;
+    std::vector<seq::KmerCode> codes;
+    std::vector<std::uint32_t> counts;
+  };
+
+  /// Flushes any still-buffered instances to the spill bins and seals
+  /// them. Idempotent; only valid once spilled() is true. Called
+  /// implicitly by finish()/finish_spilled(), exposed so callers can
+  /// inspect spill_nonempty_bins() before choosing an output format.
+  void flush_spill();
+
+  /// Out-of-core finalization: reads each non-empty spill bin back,
+  /// sorts and counts it in isolation, and hands the runs to `consume`
+  /// in ascending prefix order. Peak memory is one bin at a time — the
+  /// full spectrum never exists in this process unless the consumer
+  /// accumulates it. The builder is left empty and reusable.
+  void finish_spilled(const std::function<void(SortedRun&&)>& consume);
 
   /// Peak number of buffered instances observed (for tests/telemetry).
   std::size_t peak_buffered() const noexcept { return peak_buffered_; }
+
+  // --- Budget-mode observability (all zero/false without a budget) ---
+  /// True once at least one instance was written to a spill bin.
+  bool spilled() const noexcept { return spilled_; }
+  /// Disk-partition width actually in use (after clamping).
+  int spill_shard_bits() const noexcept { return spill_shard_bits_; }
+  /// Non-empty spill bins (the shard count of a sharded index written
+  /// from this build). Requires flush_spill().
+  std::size_t spill_nonempty_bins() const noexcept;
+  /// Total bytes written to spill files.
+  std::uint64_t spill_bytes() const noexcept { return spill_bytes_; }
+  /// Directory the spill files live in (resolved from SpillOptions).
+  const std::string& spill_dir() const noexcept { return spill_dir_; }
+  /// The builder's own memory accounting, maxed over the whole build:
+  /// instance-buffer capacity + spill-bin buffer capacity + the
+  /// per-bin read/sort/count arrays of the finish phase. This is the
+  /// number the bounded-memory acceptance test asserts against the
+  /// budget; it survives finish() so callers can read it afterwards
+  /// (reset by the next add_read on a reused builder).
+  std::size_t peak_tracked_bytes() const noexcept {
+    return peak_tracked_bytes_;
+  }
 
  private:
   /// One sorted distinct-(code, count) run, stored as parallel arrays so
@@ -69,6 +145,9 @@ class ChunkedSpectrumBuilder {
 
   void flush_batch();
   static Run merge_runs(const Run& a, const Run& b);
+  void spill_buffer();
+  void note_tracked(std::size_t finish_phase_bytes);
+  void reset_spill_state();
 
   int k_;
   bool both_strands_;
@@ -81,6 +160,22 @@ class ChunkedSpectrumBuilder {
   std::vector<Run> runs_;
   std::size_t peak_buffered_ = 0;
   int merge_rounds_ = 0;
+
+  // --- Out-of-core (budget) state; inert when memory_budget_ == 0 ---
+  std::size_t memory_budget_ = 0;
+  std::string spill_dir_;
+  int spill_shard_bits_ = 0;
+  /// Instances buffered before routing everything through the spill
+  /// partition (~budget/3 worth of 8-byte codes).
+  std::size_t spill_threshold_ = 0;
+  std::unique_ptr<SpillPartitioner> partitioner_;
+  bool spilled_ = false;
+  bool spill_flushed_ = false;
+  std::uint64_t spill_bytes_ = 0;
+  std::size_t peak_tracked_bytes_ = 0;
+  /// finish() keeps the telemetry fields readable; the next add_read on
+  /// a reused builder zeroes them for the new build.
+  bool finish_pending_reset_ = false;
 };
 
 }  // namespace ngs::kspec

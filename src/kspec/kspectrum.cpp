@@ -56,6 +56,9 @@ void KSpectrum::move_from(KSpectrum&& other) noexcept {
   bucket_starts_ = buckets_owned
                        ? std::span<const std::uint64_t>(bucket_starts_vec_)
                        : other.bucket_starts_;
+  shard_source_ = std::move(other.shard_source_);
+  shard_starts_ = std::move(other.shard_starts_);
+  shard_bits_ = other.shard_bits_;
   other.k_ = 0;
   other.total_ = 0;
   other.prefix_bits_ = 0;
@@ -64,6 +67,9 @@ void KSpectrum::move_from(KSpectrum&& other) noexcept {
   other.counts_ = {};
   other.bucket_starts_ = {};
   other.keepalive_.reset();
+  other.shard_source_.reset();
+  other.shard_starts_.clear();
+  other.shard_bits_ = 0;
 }
 
 KSpectrum::KSpectrum(KSpectrum&& other) noexcept { move_from(std::move(other)); }
@@ -103,6 +109,11 @@ KSpectrum& KSpectrum::operator=(const KSpectrum& other) {
     bucket_starts_vec_.clear();
     bucket_starts_ = other.bucket_starts_;
   }
+  // Sharded copies share the source (it is thread-safe and immutable
+  // from the spectrum's point of view).
+  shard_source_ = other.shard_source_;
+  shard_starts_ = other.shard_starts_;
+  shard_bits_ = other.shard_bits_;
   return *this;
 }
 
@@ -249,6 +260,7 @@ KSpectrum KSpectrum::build_from_sequence(std::string_view sequence, int k,
 }
 
 void KSpectrum::rebuild_prefix_index(int prefix_index_bits) {
+  if (shard_bits_ > 0) return;  // shards carry their own bucket tables
   const int bits = prefix_index_bits < 0
                        ? auto_prefix_bits(codes_.size(), k_)
                        : std::min({prefix_index_bits, 2 * k_, 24});
@@ -272,7 +284,8 @@ void KSpectrum::rebuild_prefix_index(int prefix_index_bits) {
   bucket_starts_ = bucket_starts_vec_;
 }
 
-std::int64_t KSpectrum::index_of(seq::KmerCode code) const noexcept {
+std::int64_t KSpectrum::index_of(seq::KmerCode code) const {
+  if (shard_bits_ > 0) return sharded_index_of(code);
   const seq::KmerCode* first = codes_.data();
   const seq::KmerCode* last = first + codes_.size();
   if (prefix_bits_ > 0) {
@@ -285,6 +298,72 @@ std::int64_t KSpectrum::index_of(seq::KmerCode code) const noexcept {
   const auto* it = std::lower_bound(first, last, code);
   if (it == last || *it != code) return -1;
   return static_cast<std::int64_t>(it - codes_.data());
+}
+
+KSpectrum KSpectrum::from_shards(
+    std::shared_ptr<const SpectrumShardSource> source,
+    std::vector<std::uint64_t> shard_starts, int shard_bits, int k,
+    std::uint64_t total_instances) {
+  if (source == nullptr) {
+    throw std::invalid_argument("from_shards: null shard source");
+  }
+  if (shard_bits < 1 || shard_bits > 2 * k) {
+    throw std::invalid_argument("from_shards: shard_bits out of range");
+  }
+  if (shard_starts.size() != (std::size_t{1} << shard_bits) + 1 ||
+      shard_starts.front() != 0 ||
+      !std::is_sorted(shard_starts.begin(), shard_starts.end())) {
+    throw std::invalid_argument("from_shards: malformed shard_starts table");
+  }
+  KSpectrum s;
+  s.k_ = k;
+  s.total_ = total_instances;
+  s.shard_source_ = std::move(source);
+  s.shard_starts_ = std::move(shard_starts);
+  s.shard_bits_ = shard_bits;
+  return s;
+}
+
+std::int64_t KSpectrum::sharded_index_of(seq::KmerCode code) const {
+  const std::size_t p = static_cast<std::size_t>(code >> (2 * k_ - shard_bits_));
+  if (p + 1 >= shard_starts_.size()) return -1;  // key out of range
+  const KSpectrum* shard =
+      shard_source_->shard(static_cast<std::uint32_t>(p));
+  if (shard == nullptr) return -1;  // empty bin
+  const std::int64_t local = shard->index_of(code);
+  if (local < 0) return -1;
+  return static_cast<std::int64_t>(shard_starts_[p]) + local;
+}
+
+std::uint32_t KSpectrum::sharded_count(seq::KmerCode code) const {
+  const std::size_t p = static_cast<std::size_t>(code >> (2 * k_ - shard_bits_));
+  if (p + 1 >= shard_starts_.size()) return 0;
+  const KSpectrum* shard =
+      shard_source_->shard(static_cast<std::uint32_t>(p));
+  return shard == nullptr ? 0 : shard->count(code);
+}
+
+std::pair<std::uint32_t, std::size_t> KSpectrum::locate(std::size_t i) const {
+  if (i >= shard_starts_.back()) {
+    throw std::out_of_range("KSpectrum: sharded index out of range");
+  }
+  // First shard whose start exceeds i; its predecessor holds i.
+  const auto it = std::upper_bound(shard_starts_.begin(), shard_starts_.end(),
+                                   static_cast<std::uint64_t>(i));
+  const std::size_t p =
+      static_cast<std::size_t>(it - shard_starts_.begin()) - 1;
+  return {static_cast<std::uint32_t>(p),
+          i - static_cast<std::size_t>(shard_starts_[p])};
+}
+
+seq::KmerCode KSpectrum::sharded_code_at(std::size_t i) const {
+  const auto [p, local] = locate(i);
+  return shard_source_->shard(p)->code_at(local);
+}
+
+std::uint32_t KSpectrum::sharded_count_at(std::size_t i) const {
+  const auto [p, local] = locate(i);
+  return shard_source_->shard(p)->count_at(local);
 }
 
 }  // namespace ngs::kspec

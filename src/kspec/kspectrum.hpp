@@ -28,6 +28,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "seq/kmer.hpp"
@@ -54,6 +55,24 @@ struct SpectrumBuildOptions {
   /// Pool override for construction; supersedes `threads` unless
   /// threads == 1 (serial stays serial).
   util::ThreadPool* pool = nullptr;
+};
+
+class KSpectrum;
+
+/// Provider of per-prefix-bin spectra behind a sharded KSpectrum (the
+/// out-of-core path): index::ShardedSpectrumView implements this over a
+/// sharded index file, materializing (mmap'ing) each shard on first
+/// touch. Implementations must be thread-safe — pass-2 correction
+/// queries shards from every worker concurrently — and may throw on
+/// I/O failure, which is why the sharded accessors below are not
+/// noexcept.
+class SpectrumShardSource {
+ public:
+  virtual ~SpectrumShardSource() = default;
+  /// The spectrum holding every code whose top shard_bits equal
+  /// `prefix`, or nullptr for an empty bin. The returned pointer (and
+  /// the arrays behind it) must stay valid for the source's lifetime.
+  virtual const KSpectrum* shard(std::uint32_t prefix) const = 0;
 };
 
 class KSpectrum {
@@ -120,30 +139,56 @@ class KSpectrum {
                                   int k, std::uint64_t total, int prefix_bits,
                                   std::shared_ptr<const void> keepalive = {});
 
+  /// Sharded spectrum: a facade over 2^shard_bits per-prefix shards
+  /// served lazily by `source` (the out-of-core query path behind
+  /// index::SpectrumIndex::load on a sharded file). `shard_starts` is
+  /// the cumulative distinct-entry offset table (2^shard_bits + 1
+  /// entries, shard_starts[p] = global index of shard p's first code),
+  /// so global indices, code_at/count_at, and index_of behave exactly
+  /// as on a monolithic spectrum — but only the shards actually touched
+  /// are ever materialized. codes()/counts()/bucket_starts() return
+  /// empty spans in this mode (there is no single contiguous array),
+  /// and the lookup accessors may propagate I/O errors from the source.
+  static KSpectrum from_shards(std::shared_ptr<const SpectrumShardSource> source,
+                               std::vector<std::uint64_t> shard_starts,
+                               int shard_bits, int k,
+                               std::uint64_t total_instances);
+
   /// True when the code/count arrays live in memory this spectrum does
   /// not own (adopt_external).
   bool external() const noexcept { return external_; }
 
+  /// True when lookups route through a SpectrumShardSource (from_shards).
+  bool sharded() const noexcept { return shard_bits_ > 0; }
+
+  /// Prefix width of the shard routing (0 = not sharded).
+  int shard_bits() const noexcept { return shard_bits_; }
+
   int k() const noexcept { return k_; }
-  std::size_t size() const noexcept { return codes_.size(); }
-  bool empty() const noexcept { return codes_.empty(); }
+  std::size_t size() const noexcept {
+    return shard_bits_ > 0 ? static_cast<std::size_t>(shard_starts_.back())
+                           : codes_.size();
+  }
+  bool empty() const noexcept { return size() == 0; }
 
   /// Total kmer instances (sum of counts).
   std::uint64_t total_instances() const noexcept { return total_; }
 
-  bool contains(seq::KmerCode code) const noexcept {
-    return index_of(code) >= 0;
-  }
+  /// NOTE: on a sharded spectrum the lookup/positional accessors below
+  /// may throw (shard materialization is lazy I/O); on in-memory and
+  /// external spectra they never do.
+  bool contains(seq::KmerCode code) const { return index_of(code) >= 0; }
 
   /// Multiplicity of `code` in the spectrum (0 if absent).
-  std::uint32_t count(seq::KmerCode code) const noexcept {
+  std::uint32_t count(seq::KmerCode code) const {
+    if (shard_bits_ > 0) return sharded_count(code);
     const auto i = index_of(code);
     return i < 0 ? 0 : counts_[static_cast<std::size_t>(i)];
   }
 
   /// Index of `code` in the sorted array, or -1. Uses the prefix-bucket
   /// table when present; exact either way.
-  std::int64_t index_of(seq::KmerCode code) const noexcept;
+  std::int64_t index_of(seq::KmerCode code) const;
 
   /// (Re)builds the prefix-bucket lookup table: 2^bits offsets into the
   /// sorted array, one per top-bits key prefix. -1 = auto width from the
@@ -160,16 +205,21 @@ class KSpectrum {
     return bucket_starts_.size() * sizeof(std::uint64_t);
   }
 
-  seq::KmerCode code_at(std::size_t i) const noexcept { return codes_[i]; }
-  std::uint32_t count_at(std::size_t i) const noexcept { return counts_[i]; }
+  seq::KmerCode code_at(std::size_t i) const {
+    return shard_bits_ > 0 ? sharded_code_at(i) : codes_[i];
+  }
+  std::uint32_t count_at(std::size_t i) const {
+    return shard_bits_ > 0 ? sharded_count_at(i) : counts_[i];
+  }
 
+  /// Empty on a sharded spectrum (no single contiguous array exists).
   std::span<const seq::KmerCode> codes() const noexcept { return codes_; }
   std::span<const std::uint32_t> counts() const noexcept { return counts_; }
 
   /// The prefix-bucket offset table (2^prefix_index_bits + 1 entries;
-  /// empty when the index is disabled). index::write_spectrum_index
-  /// persists it so a loaded spectrum looks up at full speed without a
-  /// rebuild pass.
+  /// empty when the index is disabled or the spectrum is sharded).
+  /// index::write_spectrum_index persists it so a loaded spectrum looks
+  /// up at full speed without a rebuild pass.
   std::span<const std::uint64_t> bucket_starts() const noexcept {
     return bucket_starts_;
   }
@@ -182,6 +232,14 @@ class KSpectrum {
   /// filled or moved).
   void rebind_owned() noexcept;
   void move_from(KSpectrum&& other) noexcept;
+
+  // Out-of-line sharded lookup paths (kspectrum.cpp).
+  std::int64_t sharded_index_of(seq::KmerCode code) const;
+  std::uint32_t sharded_count(seq::KmerCode code) const;
+  seq::KmerCode sharded_code_at(std::size_t i) const;
+  std::uint32_t sharded_count_at(std::size_t i) const;
+  /// Maps a global index to (shard prefix, local index within shard).
+  std::pair<std::uint32_t, std::size_t> locate(std::size_t i) const;
 
   int k_ = 0;
   std::uint64_t total_ = 0;
@@ -197,6 +255,13 @@ class KSpectrum {
   std::span<const std::uint64_t> bucket_starts_;  // 2^prefix_bits_ + 1
   int prefix_bits_ = 0;  // 0 = no prefix index
   std::shared_ptr<const void> keepalive_;  // owner of external memory
+  // Sharded mode (from_shards): lookups route by code >> (2k −
+  // shard_bits_) into `shard_source_`; `shard_starts_` (2^shard_bits_+1
+  // cumulative distinct offsets) converts between global and per-shard
+  // indices. shard_bits_ == 0 means not sharded.
+  std::shared_ptr<const SpectrumShardSource> shard_source_;
+  std::vector<std::uint64_t> shard_starts_;
+  int shard_bits_ = 0;
 };
 
 }  // namespace ngs::kspec

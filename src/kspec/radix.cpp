@@ -1,9 +1,21 @@
 #include "kspec/radix.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 
+#include "fault/fault.hpp"
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace ngs::kspec {
 
@@ -163,6 +175,140 @@ void radix_sort_and_count(std::vector<seq::KmerCode>&& codes, int k,
       i = j;
     }
   });
+}
+
+namespace {
+
+/// Unique-per-process spill-file stem so concurrent builders (or a
+/// crashed predecessor's leftovers) never collide in a shared spill dir.
+std::string spill_stem(const std::string& dir) {
+  static std::atomic<std::uint64_t> seq{0};
+  std::string stem = dir;
+  if (!stem.empty() && stem.back() != '/') stem += '/';
+  stem += "ngs_spill_";
+#if defined(__unix__) || defined(__APPLE__)
+  stem += std::to_string(static_cast<long>(::getpid()));
+  stem += '_';
+#endif
+  stem += std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+  return stem;
+}
+
+}  // namespace
+
+SpillPartitioner::SpillPartitioner(int k, int shard_bits, std::string dir,
+                                   std::size_t buffer_codes_per_bin)
+    : k_(k),
+      shard_bits_(shard_bits),
+      shift_(2 * k - shard_bits),
+      dir_(std::move(dir)),
+      buffer_codes_per_bin_(std::max<std::size_t>(16, buffer_codes_per_bin)) {
+  if (shard_bits < 1 || shard_bits > 2 * k) {
+    throw Error(ErrorKind::kInternal, fault::sites::kSpillWrite,
+                "SpillPartitioner: shard_bits out of range");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // best effort; the
+  // first bin open fails with a clear message if the dir is unusable
+  const std::string stem = spill_stem(dir_);
+  bins_.resize(std::size_t{1} << shard_bits);
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    bins_[b].path = stem + "_bin" + std::to_string(b) + ".spill";
+  }
+}
+
+SpillPartitioner::~SpillPartitioner() {
+  for (auto& bin : bins_) {
+    bin.file.reset();  // unlinks an uncommitted temp
+    std::remove(bin.path.c_str());
+  }
+}
+
+void SpillPartitioner::flush_bin(Bin& bin) {
+  if (bin.buffer.empty()) return;
+  if (fault::should_fire(fault::sites::kSpillWrite)) {
+    throw Error(ErrorKind::kIo, fault::sites::kSpillWrite,
+                bin.path + ": write failed: injected fault at " +
+                    fault::sites::kSpillWrite);
+  }
+  if (bin.file == nullptr) {
+    util::AtomicFileOptions options;
+    options.error_site = fault::sites::kSpillWrite;
+    bin.file = std::make_unique<util::AtomicFile>(bin.path, options);
+  }
+  bin.file->write(bin.buffer.data(),
+                  bin.buffer.size() * sizeof(seq::KmerCode));
+  spilled_bytes_ += bin.buffer.size() * sizeof(seq::KmerCode);
+  bin.buffer.clear();
+}
+
+void SpillPartitioner::add(std::span<const seq::KmerCode> codes) {
+  if (!writable_) {
+    throw Error(ErrorKind::kInternal, fault::sites::kSpillWrite,
+                "SpillPartitioner: add after close_writes");
+  }
+  for (const seq::KmerCode code : codes) {
+    Bin& bin = bins_[static_cast<std::size_t>(code >> shift_)];
+    if (bin.buffer.capacity() == 0) bin.buffer.reserve(buffer_codes_per_bin_);
+    bin.buffer.push_back(code);
+    ++bin.instances;
+    if (bin.buffer.size() >= buffer_codes_per_bin_) flush_bin(bin);
+  }
+}
+
+void SpillPartitioner::close_writes() {
+  if (!writable_) return;
+  writable_ = false;
+  for (auto& bin : bins_) {
+    flush_bin(bin);
+    // `= {}` would keep the capacity (initializer_list assignment);
+    // move-assign a fresh vector to actually release the buffer.
+    bin.buffer = std::vector<seq::KmerCode>();
+    if (bin.file != nullptr) bin.file->commit();
+  }
+}
+
+std::size_t SpillPartitioner::nonempty_bins() const noexcept {
+  std::size_t n = 0;
+  for (const auto& bin : bins_) n += bin.instances > 0;
+  return n;
+}
+
+std::size_t SpillPartitioner::buffer_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& bin : bins_) {
+    bytes += bin.buffer.capacity() * sizeof(seq::KmerCode);
+  }
+  return bytes;
+}
+
+std::vector<seq::KmerCode> SpillPartitioner::read_bin(std::size_t bin) const {
+  if (writable_) {
+    throw Error(ErrorKind::kInternal, fault::sites::kSpillRead,
+                "SpillPartitioner: read_bin before close_writes");
+  }
+  const Bin& b = bins_[bin];
+  std::vector<seq::KmerCode> codes;
+  if (b.instances == 0) return codes;
+  if (fault::should_fire(fault::sites::kSpillRead)) {
+    throw Error(ErrorKind::kIo, fault::sites::kSpillRead,
+                b.path + ": read failed: injected fault at " +
+                    fault::sites::kSpillRead);
+  }
+  std::FILE* f = std::fopen(b.path.c_str(), "rb");
+  if (f == nullptr) {
+    throw Error(ErrorKind::kIo, fault::sites::kSpillRead,
+                b.path + ": open failed: " + std::strerror(errno));
+  }
+  codes.resize(static_cast<std::size_t>(b.instances));
+  const std::size_t got =
+      std::fread(codes.data(), sizeof(seq::KmerCode), codes.size(), f);
+  std::fclose(f);
+  if (got != codes.size()) {
+    throw Error(ErrorKind::kIo, fault::sites::kSpillRead,
+                b.path + ": short read (spill bin truncated)");
+  }
+  return codes;
 }
 
 }  // namespace ngs::kspec

@@ -17,11 +17,15 @@
 // sorted-array representation Sec. 2.3 of the paper builds on.
 
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "seq/kmer.hpp"
 
 namespace ngs::util {
+class AtomicFile;
 class ThreadPool;
 }
 
@@ -62,5 +66,74 @@ void radix_sort_and_count(std::vector<seq::KmerCode>&& codes, int k,
 void serial_sort_and_count(std::vector<seq::KmerCode>&& codes,
                            std::vector<seq::KmerCode>& out_codes,
                            std::vector<std::uint32_t>& out_counts);
+
+/// Disk-backed prefix partition for the out-of-core spectrum build
+/// (KMC/RECKONER-style): kmer instances are routed by their top
+/// `shard_bits` key bits into 2^shard_bits per-bin temp files, so each
+/// bin can later be read back, sorted, and counted independently in a
+/// fraction of the whole multiset's memory. Bins cover disjoint
+/// ascending key ranges — exactly the invariant of the in-memory radix
+/// partition above — so per-bin (code, count) runs concatenate into the
+/// globally sorted spectrum with zero cross-bin merging.
+///
+/// Write protocol: add() buffers per bin (small bounded buffers, see
+/// buffer_bytes()) and appends raw little-endian u64 codes to the bin's
+/// util::AtomicFile; close_writes() flushes and commits every bin, after
+/// which read_bin() serves them back. All bin files (and any uncommitted
+/// temps, on a failure unwind) are removed on destruction. I/O failures
+/// throw ngs::Error(kIo) sited at fault::sites::kSpillWrite/kSpillRead,
+/// both drivable from the fault registry.
+class SpillPartitioner {
+ public:
+  /// `dir` must name an existing or creatable directory; bin files are
+  /// uniquely named per process and partitioner.
+  SpillPartitioner(int k, int shard_bits, std::string dir,
+                   std::size_t buffer_codes_per_bin = 1024);
+  ~SpillPartitioner();
+  SpillPartitioner(const SpillPartitioner&) = delete;
+  SpillPartitioner& operator=(const SpillPartitioner&) = delete;
+
+  int shard_bits() const noexcept { return shard_bits_; }
+  std::size_t bin_count() const noexcept { return bins_.size(); }
+
+  /// Routes every code to its bin buffer, flushing full buffers to disk.
+  void add(std::span<const seq::KmerCode> codes);
+
+  /// Flushes and commits every bin file. add() is invalid afterwards.
+  void close_writes();
+
+  /// Instances routed to `bin` so far.
+  std::uint64_t bin_instances(std::size_t bin) const noexcept {
+    return bins_[bin].instances;
+  }
+  /// Bins holding at least one instance.
+  std::size_t nonempty_bins() const noexcept;
+  /// Total bytes spilled to disk across all bins.
+  std::uint64_t spilled_bytes() const noexcept { return spilled_bytes_; }
+  /// Bytes held by the in-memory bin buffers (for budget accounting).
+  std::size_t buffer_bytes() const noexcept;
+
+  /// Reads bin `bin` back as a code multiset (in spill order). Requires
+  /// close_writes(); the bin file stays on disk until destruction.
+  std::vector<seq::KmerCode> read_bin(std::size_t bin) const;
+
+ private:
+  struct Bin {
+    std::vector<seq::KmerCode> buffer;
+    std::unique_ptr<util::AtomicFile> file;  // created on first flush
+    std::string path;
+    std::uint64_t instances = 0;
+  };
+  void flush_bin(Bin& bin);
+
+  int k_;
+  int shard_bits_;
+  int shift_;
+  std::string dir_;
+  std::size_t buffer_codes_per_bin_;
+  std::vector<Bin> bins_;
+  std::uint64_t spilled_bytes_ = 0;
+  bool writable_ = true;
+};
 
 }  // namespace ngs::kspec

@@ -115,6 +115,43 @@ std::string write_test_index(const std::string& name) {
   return path;
 }
 
+/// Deterministic version-2 sharded index (4 prefix shards, k=12) for
+/// the index.shard_mmap site.
+std::string write_sharded_test_index(const std::string& name) {
+  constexpr int k = 12;
+  constexpr int shard_bits = 2;
+  index::IndexBuildInfo build;
+  build.k = k;
+  build.both_strands = true;
+  build.input_reads = 10;
+  build.input_bases = 360;
+  build.max_read_length = 36;
+  const std::string path = temp_path(name + ".ngsx");
+  index::ShardedIndexWriter writer(path, build, shard_bits, 4);
+  const seq::KmerCode span = seq::KmerCode{1} << (2 * k - shard_bits);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    std::vector<seq::KmerCode> codes;
+    std::vector<std::uint32_t> counts;
+    for (seq::KmerCode c = 3; c < 2000; c += 7) {
+      codes.push_back(p * span + c);
+      counts.push_back(1 + static_cast<std::uint32_t>(c % 9));
+    }
+    writer.append_shard(p, std::move(codes), std::move(counts));
+  }
+  writer.finish();
+  return path;
+}
+
+/// Pipeline options that force the pass-1 build through the spill path
+/// on the small chaos FASTQs (threshold = budget/24 instances, well
+/// under the ~25k instances the 5000bp/8x input produces).
+core::PipelineOptions budget_options() {
+  core::PipelineOptions options;
+  options.memory_budget_bytes = 200000;
+  options.spill_dir = testing::TempDir();
+  return options;
+}
+
 bool file_exists(const std::string& path) {
   return std::ifstream(path).good();
 }
@@ -240,6 +277,47 @@ TEST_F(ChaosTest, IndexWriteFailureLeavesNoFileBehind) {
   EXPECT_FALSE(file_exists(path)) << "failed write must not leave " << path;
   EXPECT_FALSE(file_exists(path + ".tmp"))
       << "failed write must clean up its temp file";
+}
+
+TEST_F(ChaosTest, SpillWriteFailureIsTypedIoError) {
+  reg().configure("kspec.spill.write=n1");
+  try {
+    run_pipeline(make_fastq(11), nullptr, budget_options());
+    FAIL() << "expected spill write failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+    EXPECT_EQ(e.site(), fault::sites::kSpillWrite);
+    EXPECT_EQ(tool_exit_code(e.kind()), 3);
+  }
+  expect_fired(fault::sites::kSpillWrite);
+}
+
+TEST_F(ChaosTest, SpillReadFailureIsTypedIoError) {
+  reg().configure("kspec.spill.read=n1");
+  try {
+    run_pipeline(make_fastq(12), nullptr, budget_options());
+    FAIL() << "expected spill read failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+    EXPECT_EQ(e.site(), fault::sites::kSpillRead);
+  }
+  expect_fired(fault::sites::kSpillRead);
+}
+
+TEST_F(ChaosTest, ShardMmapFaultFallsBackToOwnedBuffers) {
+  const std::string path = write_sharded_test_index("shard_mmap");
+  const auto direct = index::SpectrumIndex::load(path);
+  reg().configure("index.shard_mmap=always");
+  const auto fallback = index::SpectrumIndex::load(path);
+  const auto& a = direct.spectrum();
+  const auto& b = fallback.spectrum();
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(b.code_at(i), a.code_at(i));
+    EXPECT_EQ(b.count_at(i), a.count_at(i));
+  }
+  expect_fired(fault::sites::kShardMmap);
+  std::remove(path.c_str());
 }
 
 TEST_F(ChaosTest, TransientOpenFaultIsRetriedAndAbsorbed) {
@@ -379,6 +457,7 @@ TEST_F(ChaosTest, MapTaskFaultIsRetriedFromItsSplit) {
 TEST_F(ChaosTest, EverySiteInCatalogFires) {
   const std::string fastq = make_fastq(9);
   const std::string index_path = write_test_index("sweep");
+  const std::string sharded_path = write_sharded_test_index("sweep_sharded");
   const std::string in_path = temp_path("sweep_in.fastq");
   const std::string out_path = temp_path("sweep_out.fastq");
   {
@@ -397,7 +476,13 @@ TEST_F(ChaosTest, EverySiteInCatalogFires) {
       reg().configure(name + "=n1");
     }
     try {
-      if (name.rfind("index.", 0) == 0) {
+      if (name == fault::sites::kShardMmap) {
+        // The per-shard mmap site only exists on the sharded (v2) load
+        // path, and only when shards actually materialize.
+        index::LoadOptions options;
+        options.validate_payload = true;
+        (void)index::SpectrumIndex::load(sharded_path, options);
+      } else if (name.rfind("index.", 0) == 0) {
         if (name == fault::sites::kIndexWrite) {
           (void)write_test_index("sweep_w");
         } else {
@@ -405,6 +490,12 @@ TEST_F(ChaosTest, EverySiteInCatalogFires) {
           options.verify_checksums = true;
           (void)index::SpectrumIndex::load(index_path, options);
         }
+      } else if (name == fault::sites::kSpillWrite ||
+                 name == fault::sites::kSpillRead) {
+        // Spill sites are only reachable from a budget-constrained
+        // pass-1 build.
+        auto pipeline = make_pipeline(budget_options());
+        (void)pipeline.run_file(in_path, out_path);
       } else if (name == fault::sites::kMapTask) {
         using CountJob = mapreduce::Job<int, std::string, std::string, int,
                                         std::string, int>;
@@ -428,6 +519,7 @@ TEST_F(ChaosTest, EverySiteInCatalogFires) {
   }
 
   std::remove(index_path.c_str());
+  std::remove(sharded_path.c_str());
   std::remove(in_path.c_str());
   std::remove(out_path.c_str());
 }

@@ -110,6 +110,109 @@ TEST(ChunkedBuilder, EmptyInput) {
   EXPECT_TRUE(spec.empty());
 }
 
+// --- Out-of-core (budget/spill) path ----------------------------------
+
+kspec::SpillOptions spill_options(std::size_t budget) {
+  kspec::SpillOptions spill;
+  spill.memory_budget_bytes = budget;
+  spill.spill_dir = testing::TempDir();
+  return spill;
+}
+
+TEST(ChunkedBuilder, SpilledBuildMatchesInMemoryByteForByte) {
+  const auto run = make_run(11);
+  const auto reference = kspec::KSpectrum::build(run.reads, 13, true);
+
+  // The floor for this dataset is the finish-phase working set of the
+  // largest prefix bin (~301 KB); budgets below that cannot be honored.
+  for (const std::size_t budget : {std::size_t{350000}, std::size_t{600000}}) {
+    kspec::ChunkedSpectrumBuilder builder(13, true, 1 << 20, nullptr,
+                                          spill_options(budget));
+    builder.add_reads(run.reads);
+    EXPECT_TRUE(builder.spilled()) << "budget=" << budget;
+    const auto spilled = builder.finish();
+    EXPECT_GT(builder.spill_bytes(), 0u);
+    EXPECT_GT(builder.peak_tracked_bytes(), 0u);
+    EXPECT_LE(builder.peak_tracked_bytes(), budget) << "budget=" << budget;
+    ASSERT_EQ(spilled.size(), reference.size()) << "budget=" << budget;
+    ASSERT_EQ(spilled.total_instances(), reference.total_instances());
+    ASSERT_TRUE(std::equal(spilled.codes().begin(), spilled.codes().end(),
+                           reference.codes().begin(),
+                           reference.codes().end()));
+    ASSERT_TRUE(std::equal(spilled.counts().begin(), spilled.counts().end(),
+                           reference.counts().begin(),
+                           reference.counts().end()));
+  }
+}
+
+TEST(ChunkedBuilder, UnderBudgetNeverSpills) {
+  const auto run = make_run(13);
+  kspec::ChunkedSpectrumBuilder builder(13, true, 1 << 20, nullptr,
+                                        spill_options(std::size_t{1} << 30));
+  builder.add_reads(run.reads);
+  EXPECT_FALSE(builder.spilled());
+  const auto spec = builder.finish();
+  EXPECT_EQ(builder.spill_bytes(), 0u);
+  const auto reference = kspec::KSpectrum::build(run.reads, 13, true);
+  EXPECT_EQ(spec.size(), reference.size());
+  EXPECT_EQ(spec.total_instances(), reference.total_instances());
+}
+
+TEST(ChunkedBuilder, FinishSpilledStreamsDisjointAscendingRuns) {
+  const auto run = make_run(17);
+  const auto reference = kspec::KSpectrum::build(run.reads, 13, true);
+
+  kspec::ChunkedSpectrumBuilder builder(13, true, 1 << 20, nullptr,
+                                        spill_options(250000));
+  builder.add_reads(run.reads);
+  ASSERT_TRUE(builder.spilled());
+  builder.flush_spill();
+  const std::size_t bins = builder.spill_nonempty_bins();
+  EXPECT_GE(bins, 2u);
+  const int shard_bits = builder.spill_shard_bits();
+  const int shift = 2 * 13 - shard_bits;
+
+  std::vector<seq::KmerCode> codes;
+  std::vector<std::uint32_t> counts;
+  std::size_t runs = 0;
+  std::uint32_t last_prefix = 0;
+  builder.finish_spilled([&](kspec::ChunkedSpectrumBuilder::SortedRun&& r) {
+    if (runs > 0) EXPECT_GT(r.prefix, last_prefix) << "prefix order";
+    last_prefix = r.prefix;
+    ++runs;
+    ASSERT_FALSE(r.codes.empty());
+    for (const seq::KmerCode c : r.codes) {
+      ASSERT_EQ(static_cast<std::uint32_t>(c >> shift), r.prefix);
+    }
+    codes.insert(codes.end(), r.codes.begin(), r.codes.end());
+    counts.insert(counts.end(), r.counts.begin(), r.counts.end());
+  });
+  EXPECT_EQ(runs, bins);
+  ASSERT_EQ(codes.size(), reference.size());
+  EXPECT_TRUE(std::equal(codes.begin(), codes.end(),
+                         reference.codes().begin(), reference.codes().end()));
+  EXPECT_TRUE(std::equal(counts.begin(), counts.end(),
+                         reference.counts().begin(),
+                         reference.counts().end()));
+}
+
+TEST(ChunkedBuilder, SpilledBuilderIsReusable) {
+  kspec::ChunkedSpectrumBuilder builder(8, true, 1 << 20,
+                                        nullptr, spill_options(100000));
+  // Force a spill on the first build by exceeding the minimum threshold.
+  std::string read(5000, 'A');
+  for (std::size_t i = 0; i < read.size(); i += 7) read[i] = 'C';
+  for (int r = 0; r < 12; ++r) builder.add_read(read);
+  EXPECT_TRUE(builder.spilled());
+  const auto first = builder.finish();
+  EXPECT_GT(first.size(), 0u);
+
+  builder.add_read("TTTTTTTTTT");
+  EXPECT_FALSE(builder.spilled()) << "finish() must reset the spill state";
+  const auto second = builder.finish();
+  EXPECT_TRUE(second.contains(seq::encode_kmer("TTTTTTTT").value()));
+}
+
 TEST(KSpectrum, FromSortedCountsValidates) {
   // Size mismatch throws in every build mode; the O(n) order/count scan
   // is debug-only, so out-of-order codes are asserted through the

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -277,6 +278,174 @@ TEST(SpectrumIndex, PayloadBitFlipCaughtByVerify) {
   std::remove(path.c_str());
 }
 
+// --- Sharded (version-2) format ---------------------------------------
+
+/// A deterministic spectrum whose codes spread across the whole 2k-bit
+/// space (random_spectrum's small steps would land every code in prefix
+/// shard 0).
+kspec::KSpectrum spread_spectrum(int k, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const seq::KmerCode mask = (seq::KmerCode{1} << (2 * k)) - 1;
+  const seq::KmerCode step = mask / n;
+  std::vector<seq::KmerCode> codes;
+  std::vector<std::uint32_t> counts;
+  seq::KmerCode next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    next += 1 + rng.below(2 * step);
+    if (next > mask) break;
+    codes.push_back(next);
+    counts.push_back(1 + static_cast<std::uint32_t>(rng.below(50)));
+  }
+  return kspec::KSpectrum::from_sorted_counts(std::move(codes),
+                                              std::move(counts), k);
+}
+
+/// Splits a spectrum by top `shard_bits` prefix and writes it through
+/// the streaming sharded writer. Returns the file checksum.
+std::uint64_t write_sharded(const std::string& path,
+                            const kspec::KSpectrum& spectrum,
+                            int shard_bits) {
+  const int shift = 2 * spectrum.k() - shard_bits;
+  const auto codes = spectrum.codes();
+  const auto counts = spectrum.counts();
+  struct Span {
+    std::uint32_t prefix;
+    std::size_t begin, end;
+  };
+  std::vector<Span> spans;
+  for (std::size_t i = 0; i < codes.size();) {
+    const auto p = static_cast<std::uint32_t>(codes[i] >> shift);
+    std::size_t j = i;
+    while (j < codes.size() &&
+           static_cast<std::uint32_t>(codes[j] >> shift) == p) {
+      ++j;
+    }
+    spans.push_back({p, i, j});
+    i = j;
+  }
+  index::ShardedIndexWriter writer(path, build_info_for(spectrum),
+                                   shard_bits, spans.size());
+  for (const auto& s : spans) {
+    writer.append_shard(
+        s.prefix,
+        std::vector<seq::KmerCode>(codes.begin() + s.begin,
+                                   codes.begin() + s.end),
+        std::vector<std::uint32_t>(counts.begin() + s.begin,
+                                   counts.begin() + s.end));
+  }
+  return writer.finish();
+}
+
+TEST(ShardedIndex, RoundTripMatchesMonolith) {
+  const int k = 16;
+  const auto built = spread_spectrum(k, 20000, 42);
+  ASSERT_GT(built.size(), 10000u);
+  const std::string path = temp_path("sharded_roundtrip");
+  const std::uint64_t checksum = write_sharded(path, built, 3);
+  EXPECT_NE(checksum, 0u);
+
+  const auto info = index::SpectrumIndex::read_info(path);
+  EXPECT_EQ(info.format_version, index::kFormatVersionSharded);
+  EXPECT_EQ(info.shard_bits, 3u);
+  EXPECT_GE(info.shard_count, 2u);
+  ASSERT_EQ(info.shards.size(), info.shard_count);
+  std::uint64_t distinct = 0, instances = 0;
+  for (const auto& s : info.shards) {
+    distinct += s.distinct;
+    instances += s.total_instances;
+  }
+  EXPECT_EQ(distinct, built.size());
+  EXPECT_EQ(instances, built.total_instances());
+
+  for (const bool use_mmap : {true, false}) {
+    index::LoadOptions options;
+    options.use_mmap = use_mmap;
+    options.verify_checksums = true;
+    options.validate_payload = true;
+    const auto loaded = index::SpectrumIndex::load(path, options);
+    const auto& spec = loaded.spectrum();
+    EXPECT_TRUE(spec.sharded());
+    EXPECT_EQ(loaded.info().checksum, checksum);
+    ASSERT_EQ(spec.size(), built.size()) << "mmap=" << use_mmap;
+    EXPECT_EQ(spec.total_instances(), built.total_instances());
+    for (std::size_t i = 0; i < built.size(); i += 37) {
+      ASSERT_EQ(spec.code_at(i), built.code_at(i)) << i;
+      ASSERT_EQ(spec.count_at(i), built.count_at(i)) << i;
+    }
+    util::Rng rng(31);
+    const seq::KmerCode mask = (seq::KmerCode{1} << (2 * k)) - 1;
+    for (int q = 0; q < 2000; ++q) {
+      const seq::KmerCode code =
+          (q % 2 == 0) ? built.code_at(rng.below(built.size()))
+                       : (rng() & mask);
+      ASSERT_EQ(spec.index_of(code), built.index_of(code));
+      ASSERT_EQ(spec.count(code), built.count(code));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardedIndex, MonolithicFilesStayVersion1) {
+  const auto built = random_spectrum(16, 2000, 8);
+  const std::string a = temp_path("v1_a");
+  const std::string b = temp_path("v1_b");
+  index::write_spectrum_index(a, built, build_info_for(built));
+  index::write_spectrum_index(b, built, build_info_for(built));
+  const auto info = index::SpectrumIndex::read_info(a);
+  EXPECT_EQ(info.format_version, index::kFormatVersion);
+  EXPECT_EQ(info.shard_count, 0u);
+  EXPECT_EQ(info.shard_bits, 0u);
+  EXPECT_TRUE(info.shards.empty());
+  EXPECT_EQ(slurp(a), slurp(b)) << "version-1 writes must stay deterministic";
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(ShardedIndex, RejectsTruncationAndCorruption) {
+  const auto built = spread_spectrum(14, 6000, 77);
+  const std::string path = temp_path("sharded_corrupt");
+  write_sharded(path, built, 2);
+  const std::string valid = slurp(path);
+  const auto info = index::SpectrumIndex::read_info(path);
+  ASSERT_GE(info.shard_count, 2u);
+
+  // Payload cut short: the recorded file size no longer matches.
+  spew(path, valid.substr(0, valid.size() - 64));
+  EXPECT_EQ(load_failure_kind(path), Kind::kTruncated);
+
+  // A flipped bit in every per-shard payload section is caught by a
+  // verifying load.
+  index::LoadOptions verify;
+  verify.verify_checksums = true;
+  verify.validate_payload = true;
+  for (const auto& section : info.sections) {
+    if (section.id == index::SectionId::kShardTable) continue;
+    std::string bad = valid;
+    bad[section.offset + section.bytes / 2] ^= 0x20;
+    spew(path, bad);
+    EXPECT_EQ(load_failure_kind(path, verify), Kind::kChecksum);
+  }
+
+  // The shard table's own checksum is verified on every metadata read,
+  // so a flipped shard row fails even a default (lazy) load.
+  const auto table =
+      std::find_if(info.sections.begin(), info.sections.end(),
+                   [](const index::IndexInfo::Section& s) {
+                     return s.id == index::SectionId::kShardTable;
+                   });
+  ASSERT_NE(table, info.sections.end());
+  std::string bad = valid;
+  bad[table->offset + 4] ^= 0x01;
+  spew(path, bad);
+  EXPECT_EQ(load_failure_kind(path), Kind::kChecksum);
+  EXPECT_THROW((void)index::SpectrumIndex::read_info(path),
+               index::IndexError);
+
+  spew(path, valid);
+  EXPECT_NO_THROW((void)index::SpectrumIndex::load(path, verify));
+  std::remove(path.c_str());
+}
+
 TEST(KSpectrum, ValidateSortedCountsFindsEachViolation) {
   using kspec::KSpectrum;
   EXPECT_FALSE(KSpectrum::validate_sorted_counts({}, {}, 8).has_value());
@@ -416,6 +585,112 @@ TEST(CorrectionPipeline, LoadIndexRejectsParameterMismatch) {
   index::write_spectrum_index(path, same_k, build);
   core::CorrectionPipeline pipeline2(make_method("sap"), opts);
   EXPECT_THROW(pipeline2.run(factory_for(fastq), out), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+// The ISSUE acceptance criterion: on input whose spectrum exceeds the
+// budget, a budget-constrained run completes with the builder's own
+// peak accounting under the budget and output byte-identical to the
+// unconstrained run — for every registered method.
+TEST(CorrectionPipeline, BudgetRunMatchesUnconstrainedForEveryMethod) {
+  const auto run = make_run(20260808, 12.0);
+  const std::string fastq = to_fastq(run.reads);
+  constexpr std::size_t kBudget = 400000;
+
+  for (const auto& info : core::registered_methods()) {
+    std::ostringstream plain_out;
+    core::CorrectionPipeline plain(make_method(info.name), {});
+    const auto plain_result = plain.run(factory_for(fastq), plain_out);
+
+    core::PipelineOptions budget_opts;
+    budget_opts.memory_budget_bytes = kBudget;
+    budget_opts.spill_dir = testing::TempDir();
+    std::ostringstream budget_out;
+    core::CorrectionPipeline budgeted(make_method(info.name), budget_opts);
+    const auto budget_result = budgeted.run(factory_for(fastq), budget_out);
+
+    EXPECT_EQ(budget_out.str(), plain_out.str()) << info.name;
+    EXPECT_EQ(budget_result.report.reads, plain_result.report.reads)
+        << info.name;
+    if (info.streaming) {
+      EXPECT_TRUE(budget_result.spectrum_spilled) << info.name;
+      EXPECT_GE(budget_result.spectrum_shards, 2u) << info.name;
+      EXPECT_GT(budget_result.spectrum_spilled_bytes, 0u) << info.name;
+      EXPECT_GT(budget_result.spectrum_peak_tracked_bytes, 0u) << info.name;
+      EXPECT_LE(budget_result.spectrum_peak_tracked_bytes, kBudget)
+          << info.name << ": builder accounting exceeded the budget";
+      EXPECT_EQ(budget_result.report.extra("spectrum_spilled"), 1u);
+    } else {
+      // Buffered methods never build a streamed spectrum; the budget is
+      // inert and the report stays free of spill extras.
+      EXPECT_FALSE(budget_result.spectrum_spilled) << info.name;
+      EXPECT_EQ(budget_result.report.extra("spectrum_spilled"), 0u);
+    }
+  }
+}
+
+TEST(CorrectionPipeline, BudgetIdentityAcrossThreadsAndBudgets) {
+  const auto run = make_run(424242, 12.0);
+  const std::string fastq = to_fastq(run.reads);
+
+  std::ostringstream reference_out;
+  core::CorrectionPipeline reference(make_method("sap"), {});
+  (void)reference.run(factory_for(fastq), reference_out);
+
+  for (const std::size_t threads : {1ul, 2ul, 4ul, 8ul}) {
+    for (const std::size_t budget :
+         {std::size_t{300000}, std::size_t{450000}, std::size_t{900000}}) {
+      core::PipelineOptions opts;
+      opts.threads = threads;
+      opts.batch_size = 512;
+      opts.memory_budget_bytes = budget;
+      opts.spill_dir = testing::TempDir();
+      std::ostringstream out;
+      core::CorrectionPipeline pipeline(make_method("sap"), opts);
+      const auto result = pipeline.run(factory_for(fastq), out);
+      EXPECT_TRUE(result.spectrum_spilled)
+          << "threads=" << threads << " budget=" << budget;
+      EXPECT_LE(result.spectrum_peak_tracked_bytes, budget)
+          << "threads=" << threads << " budget=" << budget;
+      EXPECT_EQ(out.str(), reference_out.str())
+          << "threads=" << threads << " budget=" << budget;
+    }
+  }
+}
+
+TEST(CorrectionPipeline, BudgetSaveIndexIsShardedAndReloadable) {
+  const auto run = make_run(99, 12.0);
+  const std::string fastq = to_fastq(run.reads);
+  const std::string path = temp_path("budget_saved");
+
+  std::ostringstream plain_out;
+  core::CorrectionPipeline plain(make_method("sap"), {});
+  (void)plain.run(factory_for(fastq), plain_out);
+
+  core::PipelineOptions save_opts;
+  save_opts.memory_budget_bytes = 400000;
+  save_opts.spill_dir = testing::TempDir();
+  save_opts.save_index_path = path;
+  std::ostringstream save_out;
+  core::CorrectionPipeline saver(make_method("sap"), save_opts);
+  const auto save_result = saver.run(factory_for(fastq), save_out);
+  EXPECT_TRUE(save_result.spectrum_spilled);
+  EXPECT_EQ(save_result.report.extra("index_saved"), 1u);
+  EXPECT_EQ(save_out.str(), plain_out.str());
+
+  const auto info = index::SpectrumIndex::read_info(path);
+  EXPECT_EQ(info.format_version, index::kFormatVersionSharded);
+  EXPECT_EQ(info.shard_count, save_result.spectrum_shards);
+
+  // A later --load-index run over the sharded file reproduces the
+  // fresh run byte for byte, serving pass 2 from lazily mapped shards.
+  core::PipelineOptions load_opts;
+  load_opts.load_index_path = path;
+  std::ostringstream load_out;
+  core::CorrectionPipeline loader(make_method("sap"), load_opts);
+  const auto load_result = loader.run(factory_for(fastq), load_out);
+  EXPECT_TRUE(load_result.pass1_skipped);
+  EXPECT_EQ(load_out.str(), plain_out.str());
   std::remove(path.c_str());
 }
 

@@ -58,6 +58,15 @@ int main(int argc, char** argv) {
                  "persist the pass-1 spectrum to this path for future "
                  "--load-index runs (streaming methods only)",
                  true, "");
+  cli.add_option("memory-budget-mb",
+                 "bound the pass-1 spectrum build's own memory to N MiB, "
+                 "spilling to sharded disk bins; output is byte-identical "
+                 "(0 = unlimited; streaming methods only)",
+                 true, "0");
+  cli.add_option("spill-dir",
+                 "directory for spill bins and the transient sharded index "
+                 "under --memory-budget-mb (default: system temp dir)",
+                 true, "");
   cli.add_option("on-bad-record",
                  "malformed-FASTQ policy: fail (abort with a located "
                  "parse error) or skip (drop and count)",
@@ -134,6 +143,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("batch-size", 4096));
   options.load_index_path = cli.get("load-index");
   options.save_index_path = cli.get("save-index");
+  options.memory_budget_bytes =
+      static_cast<std::size_t>(cli.get_int("memory-budget-mb", 0)) << 20;
+  options.spill_dir = cli.get("spill-dir");
   options.on_bad_record = bad_record_policy;
   core::CorrectionPipeline pipeline(std::move(corrector), options);
 
@@ -174,6 +186,17 @@ int main(int argc, char** argv) {
                      static_cast<double>(cache_hits + cache_misses)
               << "% hit rate, pass 2 "
               << result.report.extra("pass2_reads_per_sec") << " reads/s\n";
+  }
+  if (result.spectrum_spilled) {
+    std::cerr << "spill: pass 1 stayed under "
+              << cli.get_int("memory-budget-mb", 0) << " MiB (peak tracked "
+              << result.spectrum_peak_tracked_bytes << " bytes), "
+              << result.spectrum_spilled_bytes << " bytes spilled";
+    if (result.spectrum_shards > 0) {
+      std::cerr << ", pass 2 queried " << result.spectrum_shards
+                << " index shards";
+    }
+    std::cerr << "\n";
   }
   // Degradation report: anything the run survived rather than failed.
   if (result.reads_skipped + result.reads_failed + result.io_retries > 0) {

@@ -45,6 +45,7 @@ void print_usage(std::ostream& os) {
      << "usage: ngs-index <build|info|verify> [options]\n\n"
      << "  build  --in reads.fastq --out index.ngsx [--k N]\n"
      << "         [--both-strands 0|1] [--threads N] [--batch-size N]\n"
+     << "         [--memory-budget-mb N] [--spill-dir DIR]\n"
      << "  info   --index index.ngsx\n"
      << "  verify --index index.ngsx\n";
 }
@@ -54,6 +55,7 @@ const char* section_label(index::SectionId id) {
     case index::SectionId::kCodes: return "codes";
     case index::SectionId::kCounts: return "counts";
     case index::SectionId::kBucketStarts: return "bucket_starts";
+    case index::SectionId::kShardTable: return "shard_table";
   }
   return "unknown";
 }
@@ -71,12 +73,41 @@ void print_info(const index::IndexInfo& info, const std::string& path) {
             << "  max_read_length: " << info.build.max_read_length << "\n"
             << "  file_bytes: " << info.file_bytes << "\n"
             << "  checksum: 0x" << std::hex << info.checksum << std::dec
-            << "\n"
-            << "  sections:\n";
+            << "\n";
+  if (info.shard_count > 0) {
+    std::cout << "  shard_count: " << info.shard_count << "\n"
+              << "  shard_bits: " << info.shard_bits << "\n"
+              << "  shards:\n";
+    const int shift = 2 * info.build.k - static_cast<int>(info.shard_bits);
+    for (const auto& shard : info.shards) {
+      // Per-shard section rows (bytes + checksum), matched by prefix.
+      std::cout << "    prefix=" << shard.prefix << " key_range=["
+                << (static_cast<std::uint64_t>(shard.prefix) << shift) << ", "
+                << (static_cast<std::uint64_t>(shard.prefix + 1) << shift)
+                << ") entries=" << shard.distinct
+                << " instances=" << shard.total_instances
+                << " prefix_index_bits=" << shard.prefix_index_bits << "\n";
+      for (const auto& s : info.sections) {
+        if (s.shard_prefix != shard.prefix ||
+            s.id == index::SectionId::kShardTable) {
+          continue;
+        }
+        std::cout << "      " << section_label(s.id) << ": offset="
+                  << s.offset << " bytes=" << s.bytes << " checksum=0x"
+                  << std::hex << s.checksum << std::dec << "\n";
+      }
+    }
+  }
+  std::cout << "  sections:\n";
   for (const auto& s : info.sections) {
-    std::cout << "    " << section_label(s.id) << ": offset=" << s.offset
-              << " bytes=" << s.bytes << " checksum=0x" << std::hex
-              << s.checksum << std::dec << "\n";
+    std::cout << "    " << section_label(s.id);
+    if (info.shard_count > 0 &&
+        s.id != index::SectionId::kShardTable) {
+      std::cout << "[shard " << s.shard_prefix << "]";
+    }
+    std::cout << ": offset=" << s.offset << " bytes=" << s.bytes
+              << " checksum=0x" << std::hex << s.checksum << std::dec
+              << "\n";
   }
 }
 
@@ -93,6 +124,8 @@ int run_build(util::CliParser& cli) {
   const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   const auto batch_size =
       static_cast<std::size_t>(cli.get_int("batch-size", 4096));
+  const auto budget_mb =
+      static_cast<std::size_t>(cli.get_int("memory-budget-mb", 0));
   if (k < 1 || k > seq::kMaxK) {
     std::cerr << "ngs-index build: --k must be in [1, " << seq::kMaxK
               << "]\n";
@@ -102,8 +135,11 @@ int run_build(util::CliParser& cli) {
   util::Timer timer;
   std::optional<util::ThreadPool> own_pool;
   if (threads > 0) own_pool.emplace(threads);
+  kspec::SpillOptions spill;
+  spill.memory_budget_bytes = budget_mb << 20;
+  spill.spill_dir = cli.get("spill-dir");
   kspec::ChunkedSpectrumBuilder builder(
-      k, both_strands, 1 << 20, own_pool ? &*own_pool : nullptr);
+      k, both_strands, 1 << 20, own_pool ? &*own_pool : nullptr, spill);
   index::IndexBuildInfo build;
   build.k = k;
   build.both_strands = both_strands;
@@ -122,17 +158,46 @@ int run_build(util::CliParser& cli) {
       batch.clear();
     }
   }
-  const auto spectrum = builder.finish();
-  const double build_s = timer.seconds();
-
+  std::uint64_t distinct = 0;
+  std::uint64_t instances = 0;
+  std::uint64_t checksum = 0;
+  std::size_t shards = 0;
   util::Timer write_timer;
-  const std::uint64_t checksum =
-      index::write_spectrum_index(out, spectrum, build);
-  std::cerr << "built k=" << k << " spectrum of " << spectrum.size()
-            << " distinct kmers (" << spectrum.total_instances()
-            << " instances) from " << build.input_reads << " reads in "
-            << build_s << "s\n"
-            << "wrote " << out << " (checksum 0x" << std::hex << checksum
+  double build_s = 0.0;
+  if (builder.spilled()) builder.flush_spill();
+  if (builder.spilled() && builder.spill_nonempty_bins() > 1) {
+    // Out-of-core: stream sorted prefix bins straight into the sharded
+    // file; the full spectrum never exists in this process.
+    shards = builder.spill_nonempty_bins();
+    build_s = timer.seconds();
+    write_timer = util::Timer();
+    index::ShardedIndexWriter writer(out, build, builder.spill_shard_bits(),
+                                     shards);
+    builder.finish_spilled(
+        [&](kspec::ChunkedSpectrumBuilder::SortedRun&& run) {
+          distinct += run.codes.size();
+          for (const auto c : run.counts) instances += c;
+          writer.append_shard(run.prefix, std::move(run.codes),
+                              std::move(run.counts));
+        });
+    checksum = writer.finish();
+  } else {
+    const auto spectrum = builder.finish();
+    distinct = spectrum.size();
+    instances = spectrum.total_instances();
+    build_s = timer.seconds();
+    write_timer = util::Timer();
+    checksum = index::write_spectrum_index(out, spectrum, build);
+  }
+  std::cerr << "built k=" << k << " spectrum of " << distinct
+            << " distinct kmers (" << instances << " instances) from "
+            << build.input_reads << " reads in " << build_s << "s\n";
+  if (shards > 0) {
+    std::cerr << "spilled " << builder.spill_bytes() << " bytes into "
+              << shards << " prefix shards (peak tracked memory "
+              << builder.peak_tracked_bytes() << " bytes)\n";
+  }
+  std::cerr << "wrote " << out << " (checksum 0x" << std::hex << checksum
             << std::dec << ") in " << write_timer.seconds() << "s\n";
   return 0;
 }
@@ -192,6 +257,14 @@ int main(int argc, char** argv) {
                    "0");
     cli.add_option("batch-size", "reads per streamed parse batch", true,
                    "4096");
+    cli.add_option("memory-budget-mb",
+                   "bound the build's own memory to N MiB, spilling the "
+                   "spectrum to sharded disk bins (0 = unlimited)",
+                   true, "0");
+    cli.add_option("spill-dir",
+                   "directory for spill bins under --memory-budget-mb "
+                   "(default: system temp dir)",
+                   true, "");
     cli.add_option("fault-spec",
                    "fault-injection spec (also read from NGS_FAULT_SPEC; "
                    "testing only)",
