@@ -13,6 +13,9 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+
+#include "index/spectrum_index.hpp"
 #include "kspec/chunked_builder.hpp"
 #include "kspec/kspectrum.hpp"
 #include "util/memory.hpp"
@@ -171,6 +174,63 @@ int main() {
                         util::Table::fixed(prefix_ns, 1),
                         util::Table::fixed(plain_ns / prefix_ns, 2) + "x"});
   lookup_table.print(std::cout);
+  std::cout << "\n";
+
+  // --- Batched (interleaved, software-prefetched) probes vs one-at-a-
+  // time index_of, on the in-memory spectrum and on an mmap-loaded
+  // index view, in pass-2-sized batches. ---
+  constexpr std::size_t kBatch = 64;
+  auto time_lookups = [&](const kspec::KSpectrum& spec, bool batched) {
+    std::vector<std::int64_t> idx(kBatch);
+    std::uint64_t found = 0;
+    const double s = best_seconds(kRepeats, [&] {
+      for (std::size_t base = 0; base + kBatch <= queries.size();
+           base += kBatch) {
+        if (batched) {
+          spec.index_of_batch({queries.data() + base, kBatch},
+                              {idx.data(), kBatch});
+          for (std::size_t i = 0; i < kBatch; ++i) found += idx[i] >= 0;
+        } else {
+          for (std::size_t i = 0; i < kBatch; ++i) {
+            found += spec.index_of(queries[base + i]) >= 0;
+          }
+        }
+      }
+    });
+    sink += found;
+    return 1e9 * s / static_cast<double>(queries.size());
+  };
+  const double single_mem_ns = time_lookups(reference, false);
+  const double batched_mem_ns = time_lookups(reference, true);
+
+  const std::string index_path = "/tmp/bench_spectrum_probe.ngsidx";
+  index::IndexBuildInfo build_info;
+  build_info.k = k;
+  build_info.both_strands = true;
+  build_info.input_reads = reads.size();
+  build_info.input_bases = reads.total_bases();
+  index::write_spectrum_index(index_path, reference, build_info);
+  double single_mmap_ns = 0.0, batched_mmap_ns = 0.0;
+  {
+    const auto loaded = index::SpectrumIndex::load(index_path);
+    single_mmap_ns = time_lookups(loaded.spectrum(), false);
+    batched_mmap_ns = time_lookups(loaded.spectrum(), true);
+  }
+  std::remove(index_path.c_str());
+
+  util::Table batch_table({"Spectrum", "Probe path", "ns/lookup", "Speedup"});
+  batch_table.add_row({"in-memory", "single index_of",
+                       util::Table::fixed(single_mem_ns, 1), "1.00x"});
+  batch_table.add_row(
+      {"in-memory", "batched+prefetch", util::Table::fixed(batched_mem_ns, 1),
+       util::Table::fixed(single_mem_ns / batched_mem_ns, 2) + "x"});
+  batch_table.add_row({"mmap-loaded", "single index_of",
+                       util::Table::fixed(single_mmap_ns, 1), "1.00x"});
+  batch_table.add_row(
+      {"mmap-loaded", "batched+prefetch",
+       util::Table::fixed(batched_mmap_ns, 1),
+       util::Table::fixed(single_mmap_ns / batched_mmap_ns, 2) + "x"});
+  batch_table.print(std::cout);
   std::cout << "\nspectrum: " << reference.size() << " distinct kmers, "
             << reference.total_instances() << " instances, prefix table "
             << reference.prefix_index_bytes() << " bytes, peak rss "
@@ -209,7 +269,14 @@ int main() {
        << "  \"lookup\": {\"queries\": " << queries.size()
        << ", \"plain_ns\": " << plain_ns << ", \"prefix_ns\": " << prefix_ns
        << ", \"prefix_bits\": " << prefix_bits
-       << ", \"speedup\": " << plain_ns / prefix_ns << "}\n"
+       << ", \"speedup\": " << plain_ns / prefix_ns << "},\n"
+       << "  \"batched_lookup\": {\"batch\": " << kBatch
+       << ", \"in_memory\": {\"single_ns\": " << single_mem_ns
+       << ", \"batched_ns\": " << batched_mem_ns
+       << ", \"speedup\": " << single_mem_ns / batched_mem_ns << "}"
+       << ", \"mmap\": {\"single_ns\": " << single_mmap_ns
+       << ", \"batched_ns\": " << batched_mmap_ns
+       << ", \"speedup\": " << single_mmap_ns / batched_mmap_ns << "}}\n"
        << "}\n";
   std::cout << "wrote " << (json_path != nullptr ? json_path : "BENCH_spectrum.json")
             << "\n";

@@ -10,6 +10,7 @@
 
 #include "kspec/radix.hpp"
 #include "seq/alphabet.hpp"
+#include "util/batch_search.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ngs::kspec {
@@ -298,6 +299,95 @@ std::int64_t KSpectrum::index_of(seq::KmerCode code) const {
   const auto* it = std::lower_bound(first, last, code);
   if (it == last || *it != code) return -1;
   return static_cast<std::int64_t>(it - codes_.data());
+}
+
+void KSpectrum::index_of_batch(std::span<const seq::KmerCode> probes,
+                               std::span<std::int64_t> out) const {
+  if (probes.size() != out.size()) {
+    throw std::invalid_argument("index_of_batch: probes/out size mismatch");
+  }
+  if (shard_bits_ > 0) {
+    sharded_index_of_batch(probes, out);
+    return;
+  }
+  // Groups of kProbeGroup descents advance in lockstep (stack scratch
+  // only); each probe is independent, so original order is preserved
+  // with no pre-sort.
+  for (std::size_t g = 0; g < probes.size(); g += util::kProbeGroup) {
+    const std::size_t gn = std::min(util::kProbeGroup, probes.size() - g);
+    std::uint64_t keys[util::kProbeGroup];
+    std::size_t lo[util::kProbeGroup];
+    std::size_t len[util::kProbeGroup];
+    std::size_t hi[util::kProbeGroup];
+    for (std::size_t j = 0; j < gn; ++j) {
+      const seq::KmerCode code = probes[g + j];
+      keys[j] = code;
+      lo[j] = 0;
+      hi[j] = codes_.size();
+      if (prefix_bits_ > 0) {
+        const std::size_t b =
+            static_cast<std::size_t>(code >> (2 * k_ - prefix_bits_));
+        if (b + 1 >= bucket_starts_.size()) {  // key out of range
+          hi[j] = 0;
+        } else {
+          lo[j] = bucket_starts_[b];
+          hi[j] = bucket_starts_[b + 1];
+        }
+      }
+      len[j] = hi[j] - lo[j];
+    }
+    util::interleaved_lower_bound(codes_.data(), keys, lo, len, gn);
+    for (std::size_t j = 0; j < gn; ++j) {
+      const std::size_t r = lo[j];
+      out[g + j] = (r < hi[j] && codes_[r] == keys[j])
+                       ? static_cast<std::int64_t>(r)
+                       : -1;
+    }
+  }
+}
+
+void KSpectrum::sharded_index_of_batch(std::span<const seq::KmerCode> probes,
+                                       std::span<std::int64_t> out) const {
+  // Sort probe indices by code so probes landing in the same shard are
+  // consecutive; each touched shard is then resolved exactly once and
+  // queried through its own in-memory batch path. Heap scratch is fine
+  // here — the sharded mode is mmap/IO bound, not probe-latency bound.
+  const std::size_t n = probes.size();
+  std::vector<std::uint32_t> ord(n);
+  std::iota(ord.begin(), ord.end(), 0u);
+  std::sort(ord.begin(), ord.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return probes[a] < probes[b];
+  });
+  std::vector<seq::KmerCode> group_codes;
+  std::vector<std::int64_t> group_out;
+  const int shift = 2 * k_ - shard_bits_;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t p = static_cast<std::size_t>(probes[ord[i]] >> shift);
+    std::size_t j = i + 1;
+    while (j < n && static_cast<std::size_t>(probes[ord[j]] >> shift) == p) {
+      ++j;
+    }
+    const KSpectrum* shard =
+        p + 1 < shard_starts_.size()
+            ? shard_source_->shard(static_cast<std::uint32_t>(p))
+            : nullptr;
+    if (shard == nullptr) {  // key out of range or empty bin
+      for (std::size_t t = i; t < j; ++t) out[ord[t]] = -1;
+      i = j;
+      continue;
+    }
+    group_codes.resize(j - i);
+    group_out.resize(j - i);
+    for (std::size_t t = i; t < j; ++t) group_codes[t - i] = probes[ord[t]];
+    shard->index_of_batch(group_codes, group_out);
+    const auto offset = static_cast<std::int64_t>(shard_starts_[p]);
+    for (std::size_t t = i; t < j; ++t) {
+      const std::int64_t local = group_out[t - i];
+      out[ord[t]] = local < 0 ? -1 : offset + local;
+    }
+    i = j;
+  }
 }
 
 KSpectrum KSpectrum::from_shards(

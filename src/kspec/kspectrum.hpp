@@ -190,6 +190,17 @@ class KSpectrum {
   /// table when present; exact either way.
   std::int64_t index_of(seq::KmerCode code) const;
 
+  /// Batched index_of: out[i] = index_of(probes[i]) for every i, with
+  /// results bit-identical to the single-probe path. Groups of probes
+  /// advance their binary-search descents in lockstep with software
+  /// prefetch (util::interleaved_lower_bound), so the cache misses of
+  /// independent probes pipeline instead of serializing.
+  /// On a sharded spectrum, probes are grouped per shard prefix first —
+  /// each touched shard is resolved once per batch and queried with its
+  /// own in-memory batch path. Precondition: probes.size() == out.size().
+  void index_of_batch(std::span<const seq::KmerCode> probes,
+                      std::span<std::int64_t> out) const;
+
   /// (Re)builds the prefix-bucket lookup table: 2^bits offsets into the
   /// sorted array, one per top-bits key prefix. -1 = auto width from the
   /// spectrum size, 0 = drop the index. Purely an accessor structure —
@@ -235,6 +246,8 @@ class KSpectrum {
 
   // Out-of-line sharded lookup paths (kspectrum.cpp).
   std::int64_t sharded_index_of(seq::KmerCode code) const;
+  void sharded_index_of_batch(std::span<const seq::KmerCode> probes,
+                              std::span<std::int64_t> out) const;
   std::uint32_t sharded_count(seq::KmerCode code) const;
   seq::KmerCode sharded_code_at(std::size_t i) const;
   std::uint32_t sharded_count_at(std::size_t i) const;

@@ -32,6 +32,7 @@
 
 #include "kspec/kspectrum.hpp"
 #include "seq/kmer.hpp"
+#include "util/simd.hpp"
 
 namespace ngs::util {
 class ThreadPool;
@@ -59,9 +60,18 @@ class CandidateEnumerator {
                          std::vector<seq::KmerCode>& scratch) const {
     scratch.clear();
     seq::enumerate_neighbors(code, spectrum_->k(), d, scratch);
-    for (const seq::KmerCode cand : scratch) {
-      const auto idx = spectrum_->index_of(cand);
-      if (idx >= 0) visit(cand, static_cast<std::size_t>(idx));
+    // Probe the spectrum in batches so independent binary-search descents
+    // overlap their cache misses; visit order stays enumeration order.
+    constexpr std::size_t kChunk = 64;
+    std::int64_t idx[kChunk];
+    for (std::size_t base = 0; base < scratch.size(); base += kChunk) {
+      const std::size_t n = std::min(kChunk, scratch.size() - base);
+      spectrum_->index_of_batch({scratch.data() + base, n}, {idx, n});
+      for (std::size_t i = 0; i < n; ++i) {
+        if (idx[i] >= 0) {
+          visit(scratch[base + i], static_cast<std::size_t>(idx[i]));
+        }
+      }
     }
   }
 
@@ -103,6 +113,13 @@ class MaskedSortIndex {
   void for_each_neighbor(seq::KmerCode code, Visitor&& visit,
                          std::vector<std::uint32_t>& hits) const {
     hits.clear();
+    // Fast path: a flat (in-memory or mmap-external) spectrum exposes its
+    // code array as a contiguous span, so the collision-run scan runs as
+    // a fused gather + XOR/popcount kernel (util::simd). A sharded
+    // spectrum has no such span — its code_at goes through the shard
+    // source — so it keeps the generic per-element loop.
+    const std::span<const seq::KmerCode> codes = spectrum_->codes();
+    const bool flat = codes.size() == spectrum_->size();
     for (const auto& rep : replicas_) {
       const seq::KmerCode keep = ~rep.mask;
       const seq::KmerCode key = code & keep;
@@ -111,12 +128,31 @@ class MaskedSortIndex {
       };
       auto it = std::lower_bound(rep.order.begin(), rep.order.end(), key,
                                  cmp_lo);
-      for (; it != rep.order.end() &&
-             (spectrum_->code_at(*it) & keep) == key;
-           ++it) {
-        const seq::KmerCode cand = spectrum_->code_at(*it);
-        const int hd = seq::kmer_hamming(cand, code);
-        if (hd >= 1 && hd <= d_) hits.push_back(*it);
+      if (flat) {
+        // Blocked so the stack buffer stays small: a block consumed in
+        // full means the collision run may continue into the next block.
+        constexpr std::size_t kRunBlock = 128;
+        std::size_t off = static_cast<std::size_t>(it - rep.order.begin());
+        while (off < rep.order.size()) {
+          const std::size_t avail =
+              std::min(kRunBlock, rep.order.size() - off);
+          std::uint32_t buf[kRunBlock];
+          std::size_t out_n = 0;
+          const std::size_t consumed = util::simd::masked_run_filter(
+              codes.data(), rep.order.data() + off, avail, keep, key, code,
+              d_, buf, &out_n);
+          hits.insert(hits.end(), buf, buf + out_n);
+          if (consumed < avail) break;
+          off += consumed;
+        }
+      } else {
+        for (; it != rep.order.end() &&
+               (spectrum_->code_at(*it) & keep) == key;
+             ++it) {
+          const seq::KmerCode cand = spectrum_->code_at(*it);
+          const int hd = seq::kmer_hamming(cand, code);
+          if (hd >= 1 && hd <= d_) hits.push_back(*it);
+        }
       }
     }
     std::sort(hits.begin(), hits.end());

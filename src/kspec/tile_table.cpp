@@ -1,9 +1,11 @@
 #include "kspec/tile_table.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "seq/alphabet.hpp"
+#include "util/batch_search.hpp"
 
 namespace ngs::kspec {
 namespace {
@@ -80,14 +82,180 @@ TileTable TileTable::build(const seq::ReadSet& reads,
     h = h_end;
     i = j;
   }
+  table.rebuild_prefix_index();
   return table;
 }
 
+void TileTable::rebuild_prefix_index() {
+  // Same sizing rule as KSpectrum: ~32 codes per bucket, capped so the
+  // offset table stays a few MB and never exceeds the key width.
+  const int key_bits = 2 * params_.tile_length();
+  const int bits =
+      codes_.size() < 64
+          ? 0
+          : std::clamp(static_cast<int>(std::bit_width(codes_.size() / 32)), 1,
+                       std::min(key_bits - 1, 20));
+  prefix_bits_ = bits;
+  if (bits <= 0) {
+    bucket_starts_.clear();
+    return;
+  }
+  const int shift = key_bits - bits;
+  const std::size_t buckets = std::size_t{1} << bits;
+  bucket_starts_.assign(buckets + 1, 0);
+  for (const seq::KmerCode code : codes_) {
+    ++bucket_starts_[(code >> shift) + 1];
+  }
+  for (std::size_t b = 1; b < bucket_starts_.size(); ++b) {
+    bucket_starts_[b] += bucket_starts_[b - 1];
+  }
+}
+
 TileTable::Counts TileTable::counts(seq::KmerCode tile) const noexcept {
-  const auto it = std::lower_bound(codes_.begin(), codes_.end(), tile);
-  if (it == codes_.end() || *it != tile) return {};
-  const auto i = static_cast<std::size_t>(it - codes_.begin());
+  const seq::KmerCode* first = codes_.data();
+  const seq::KmerCode* last = first + codes_.size();
+  if (prefix_bits_ > 0) {
+    const std::size_t b = static_cast<std::size_t>(
+        tile >> (2 * params_.tile_length() - prefix_bits_));
+    if (b + 1 >= bucket_starts_.size()) return {};  // key out of range
+    first = codes_.data() + bucket_starts_[b];
+    last = codes_.data() + bucket_starts_[b + 1];
+  }
+  const auto* it = std::lower_bound(first, last, tile);
+  if (it == last || *it != tile) return {};
+  const auto i = static_cast<std::size_t>(it - codes_.data());
   return {oc_[i], og_[i]};
+}
+
+void TileTable::og_batch(std::span<const seq::KmerCode> tiles,
+                         std::span<std::uint32_t> out) const {
+  const int key_bits = 2 * params_.tile_length();
+  for (std::size_t g = 0; g < tiles.size(); g += util::kProbeGroup) {
+    const std::size_t gn = std::min(util::kProbeGroup, tiles.size() - g);
+    std::uint64_t keys[util::kProbeGroup];
+    std::size_t lo[util::kProbeGroup];
+    std::size_t len[util::kProbeGroup];
+    std::size_t hi[util::kProbeGroup];
+    for (std::size_t j = 0; j < gn; ++j) {
+      const seq::KmerCode code = tiles[g + j];
+      keys[j] = code;
+      lo[j] = 0;
+      hi[j] = codes_.size();
+      if (prefix_bits_ > 0) {
+        const std::size_t b =
+            static_cast<std::size_t>(code >> (key_bits - prefix_bits_));
+        if (b + 1 >= bucket_starts_.size()) {  // key out of range
+          hi[j] = 0;
+        } else {
+          lo[j] = bucket_starts_[b];
+          hi[j] = bucket_starts_[b + 1];
+        }
+      }
+      len[j] = hi[j] - lo[j];
+    }
+    util::interleaved_lower_bound(codes_.data(), keys, lo, len, gn);
+    for (std::size_t j = 0; j < gn; ++j) {
+      const std::size_t r = lo[j];
+      out[g + j] = (r < hi[j] && codes_[r] == keys[j]) ? og_[r] : 0;
+    }
+  }
+}
+
+void TileTable::og_cross(std::span<const seq::KmerCode> a1,
+                         std::span<const seq::KmerCode> a2,
+                         std::span<std::uint32_t> out) const {
+  const std::size_t n1 = a1.size();
+  const std::size_t n2 = a2.size();
+  if (out.size() != n1 * n2) {
+    throw std::invalid_argument("og_cross: out size != a1.size() * a2.size()");
+  }
+  if (n1 == 0 || n2 == 0) return;
+  std::fill(out.begin(), out.end(), 0u);
+  const int k = params_.k;
+  const int low_bits = 2 * (k - params_.overlap);  // a2's tile contribution
+  const seq::KmerCode low_mask = (seq::KmerCode{1} << low_bits) - 1;
+
+  // Sides beyond the stack scratch (far above Reptile's option caps):
+  // fall back to independent probes.
+  constexpr std::size_t kMaxSide = 64;
+  if (n1 > kMaxSide || n2 > kMaxSide) {
+    for (std::size_t i = 0; i < n1; ++i) {
+      const seq::KmerCode hi = a1[i] << low_bits;
+      for (std::size_t j = 0; j < n2; ++j) {
+        out[i * n2 + j] = counts(hi | (a2[j] & low_mask)).og;
+      }
+    }
+    return;
+  }
+
+  // Sort the a2 contributions once per call. Distinct kmers can mask to
+  // the same low bits when l > 0; every tie receives the hit's Og.
+  struct LowKey {
+    seq::KmerCode low;
+    std::uint32_t j;
+  };
+  LowKey keys2[kMaxSide];
+  for (std::size_t j = 0; j < n2; ++j) {
+    keys2[j] = {a2[j] & low_mask, static_cast<std::uint32_t>(j)};
+  }
+  std::sort(keys2, keys2 + n2,
+            [](const LowKey& x, const LowKey& y) { return x.low < y.low; });
+
+  // Global lower bound of each a1 range start (the first tile whose code
+  // is >= a1[i] << low_bits), descents interleaved so their cache misses
+  // overlap. Bucket narrowing stays a global lower bound: codes before
+  // the bucket are < the key, and the code at the bucket's end (if the
+  // range is empty) belongs to a later bucket, hence >= the key.
+  const int key_bits = 2 * params_.tile_length();
+  std::size_t r0[kMaxSide];
+  for (std::size_t g = 0; g < n1; g += util::kProbeGroup) {
+    const std::size_t gn = std::min(util::kProbeGroup, n1 - g);
+    std::uint64_t keys[util::kProbeGroup];
+    std::size_t lo[util::kProbeGroup];
+    std::size_t len[util::kProbeGroup];
+    for (std::size_t j = 0; j < gn; ++j) {
+      const seq::KmerCode key = a1[g + j] << low_bits;
+      keys[j] = key;
+      lo[j] = 0;
+      std::size_t hi = codes_.size();
+      if (prefix_bits_ > 0) {
+        const std::size_t b =
+            static_cast<std::size_t>(key >> (key_bits - prefix_bits_));
+        if (b + 1 >= bucket_starts_.size()) {  // key out of range
+          lo[j] = codes_.size();
+          hi = lo[j];
+        } else {
+          lo[j] = bucket_starts_[b];
+          hi = bucket_starts_[b + 1];
+        }
+      }
+      len[j] = hi - lo[j];
+    }
+    util::interleaved_lower_bound(codes_.data(), keys, lo, len, gn);
+    for (std::size_t j = 0; j < gn; ++j) r0[g + j] = lo[j];
+  }
+
+  // Walk each a1 run (short: the distinct tiles extending one kmer) and
+  // merge it against the sorted a2 contributions.
+  for (std::size_t i = 0; i < n1; ++i) {
+    std::uint32_t* row = out.data() + i * n2;
+    const seq::KmerCode prefix = a1[i];
+    for (std::size_t r = r0[i];
+         r < codes_.size() && (codes_[r] >> low_bits) == prefix; ++r) {
+      const seq::KmerCode low = codes_[r] & low_mask;
+      std::size_t t = 0;
+      std::size_t hi2 = n2;
+      while (t < hi2) {
+        const std::size_t mid = (t + hi2) / 2;
+        if (keys2[mid].low < low) {
+          t = mid + 1;
+        } else {
+          hi2 = mid;
+        }
+      }
+      for (; t < n2 && keys2[t].low == low; ++t) row[keys2[t].j] = og_[r];
+    }
+  }
 }
 
 util::Histogram TileTable::og_histogram() const {

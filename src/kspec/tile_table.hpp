@@ -8,6 +8,7 @@
 // Algorithm 1 (tile correction) bases all decisions on Og.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "seq/kmer.hpp"
@@ -47,6 +48,28 @@ class TileTable {
     return counts(tile).og;
   }
 
+  /// Batched Og lookup: out[i] = og(tiles[i]) (0 if absent), bit-identical
+  /// to the single-probe path. The candidate cross-product of Algorithm 1
+  /// probes dozens of tiles per decision; batching advances groups of
+  /// binary-search descents in lockstep with software prefetch,
+  /// overlapping their cache misses. Precondition:
+  /// tiles.size() == out.size().
+  void og_batch(std::span<const seq::KmerCode> tiles,
+                std::span<std::uint32_t> out) const;
+
+  /// Og's of Algorithm 1's full candidate cross-product in one call:
+  /// out[i * a2.size() + j] = og of the tile whose leading kmer is a1[i]
+  /// and whose trailing kmer contributes a2[j]'s low 2(k-l) bits — i.e.
+  /// og(concat_kmers(a1[i], k, a2[j], k, l)). Exploits that all tiles
+  /// sharing a leading kmer are contiguous in the sorted table: one
+  /// interleaved range find per a1 entry plus a merge of that (short)
+  /// run against the sorted a2 contributions replaces a full binary
+  /// search per pair. Values are bit-identical to per-pair counts().
+  /// Precondition: out.size() == a1.size() * a2.size().
+  void og_cross(std::span<const seq::KmerCode> a1,
+                std::span<const seq::KmerCode> a2,
+                std::span<std::uint32_t> out) const;
+
   /// Histogram of high-quality multiplicities Og over distinct tiles —
   /// the input to Reptile's data-driven choice of Cg and Cm.
   util::Histogram og_histogram() const;
@@ -57,10 +80,17 @@ class TileTable {
   }
 
  private:
+  void rebuild_prefix_index();
+
   TileParams params_;
   std::vector<seq::KmerCode> codes_;  // sorted distinct tile codes
   std::vector<std::uint32_t> oc_;
   std::vector<std::uint32_t> og_;
+  // Prefix-bucket index over the top prefix_bits_ of each tile code:
+  // codes with prefix p live in [bucket_starts_[p], bucket_starts_[p+1]).
+  // Narrows every lookup from the full array to a ~32-entry bucket.
+  std::vector<std::uint64_t> bucket_starts_;
+  int prefix_bits_ = 0;
 };
 
 }  // namespace ngs::kspec

@@ -83,13 +83,14 @@ ReptileCorrector::ReptileCorrector(const seq::ReadSet& converted,
 }
 
 std::uint64_t ReptileCorrector::convert_ambiguous(
-    std::string& bases, std::vector<std::uint8_t>& quality) const {
+    std::string& bases, std::vector<std::uint8_t>& quality,
+    std::vector<int>& prefix) const {
   const int w = params_.effective_ambig_window();
   const int amax = params_.effective_ambig_max();
   const auto L = static_cast<int>(bases.size());
   const int win = std::min(w, L);
   if (win <= 0) return 0;
-  std::vector<int> prefix(static_cast<std::size_t>(L) + 1, 0);
+  prefix.assign(static_cast<std::size_t>(L) + 1, 0);
   for (int i = 0; i < L; ++i) {
     prefix[static_cast<std::size_t>(i) + 1] =
         prefix[static_cast<std::size_t>(i)] +
@@ -117,39 +118,60 @@ std::uint64_t ReptileCorrector::convert_ambiguous(
 }
 
 void ReptileCorrector::kmer_options(seq::KmerCode code, int d_limit,
-                                    std::vector<seq::KmerCode>& novel,
+                                    Scratch& scratch,
                                     std::vector<seq::KmerCode>& out) const {
   out.push_back(code);
   if (d_limit <= 0) return;
+  auto& opt = scratch.opt;
+  opt.clear();
   const auto idx = spectrum_.index_of(code);
   if (idx >= 0) {
+    // Graph neighbors carry their spectrum index, so the multiplicity is
+    // a direct array read — no search per option. The distance check is
+    // needed only when the graph was built with a larger d than this
+    // call's budget (edges span hd in [1, graph d]).
+    const bool check_hd = graph_.d() > d_limit;
     for (const std::uint32_t j :
          graph_.neighbors(static_cast<std::size_t>(idx))) {
       const seq::KmerCode cand = spectrum_.code_at(j);
-      if (seq::kmer_hamming(cand, code) <= d_limit) out.push_back(cand);
+      if (check_hd && seq::kmer_hamming(cand, code) > d_limit) continue;
+      opt.push_back({cand, spectrum_.count_at(j)});
     }
   } else {
     // Novel kmer (not part of the build set): fall back to candidate
-    // enumeration against the spectrum.
+    // enumeration, resolved against the spectrum in prefetched batches.
+    auto& novel = scratch.novel;
     novel.clear();
     seq::enumerate_neighbors(code, params_.k, d_limit, novel);
-    for (const seq::KmerCode cand : novel) {
-      if (spectrum_.contains(cand)) out.push_back(cand);
+    constexpr std::size_t kChunk = 64;
+    std::int64_t found[kChunk];
+    for (std::size_t base = 0; base < novel.size(); base += kChunk) {
+      const std::size_t n = std::min(kChunk, novel.size() - base);
+      spectrum_.index_of_batch({novel.data() + base, n}, {found, n});
+      for (std::size_t i = 0; i < n; ++i) {
+        if (found[i] >= 0) {
+          opt.push_back({novel[base + i],
+                         spectrum_.count_at(static_cast<std::size_t>(found[i]))});
+        }
+      }
     }
   }
-  // Bound the candidate-tile product in repeat-dense neighborhoods:
-  // keep the original kmer plus the most abundant neighbors.
+  // Bound the candidate-tile product in repeat-dense neighborhoods: keep
+  // the original kmer plus the most abundant neighbors. Sorting on the
+  // pre-gathered counts reproduces the historical comparator outcomes
+  // (count(a) > count(b)) exactly, without its per-comparison searches.
   if (params_.max_kmer_options > 0 &&
-      out.size() > params_.max_kmer_options) {
-    std::partial_sort(out.begin() + 1,
-                      out.begin() +
-                          static_cast<std::ptrdiff_t>(params_.max_kmer_options),
-                      out.end(),
-                      [this](seq::KmerCode a, seq::KmerCode b) {
-                        return spectrum_.count(a) > spectrum_.count(b);
+      opt.size() + 1 > params_.max_kmer_options) {
+    std::partial_sort(opt.begin(),
+                      opt.begin() + static_cast<std::ptrdiff_t>(
+                                        params_.max_kmer_options - 1),
+                      opt.end(),
+                      [](const KmerOption& a, const KmerOption& b) {
+                        return a.count > b.count;
                       });
-    out.resize(params_.max_kmer_options);
+    opt.resize(params_.max_kmer_options - 1);
   }
+  for (const KmerOption& o : opt) out.push_back(o.code);
 }
 
 ReptileCorrector::TileOutcome ReptileCorrector::correct_tile(
@@ -226,23 +248,33 @@ ReptileCorrector::TileOutcome ReptileCorrector::correct_tile_raw(
   auto& opts2 = scratch.opts2;
   opts1.clear();
   opts2.clear();
-  kmer_options(alpha1, d1, scratch.novel, opts1);
-  kmer_options(alpha2, d2, scratch.novel, opts2);
+  kmer_options(alpha1, d1, scratch, opts1);
+  kmer_options(alpha2, d2, scratch, opts2);
 
   // Enumerate d-mutant tiles present (with high-quality support) in R.
+  // The whole cross-product's Og values come from one structured probe:
+  // tiles sharing a leading kmer are contiguous in the sorted table, so
+  // og_cross does a range find per a1 option plus a short merge instead
+  // of a binary search per pair (the former per-candidate lower_bound
+  // was pass 2's single hottest call site). Candidate tile codes and
+  // Hamming distances are then computed only for the sparse hits.
+  auto& cross_og = scratch.cross_og;
+  cross_og.resize(opts1.size() * opts2.size());
+  tiles_.og_cross(opts1, opts2, cross_og);
   auto& candidates = scratch.candidates;
   candidates.clear();
+  std::size_t idx = 0;
   for (const seq::KmerCode a1 : opts1) {
     for (const seq::KmerCode a2 : opts2) {
+      const std::uint32_t og = cross_og[idx++];
       if (l > 0) {
         const seq::KmerCode suffix = a1 & ((seq::KmerCode{1} << (2 * l)) - 1);
         const seq::KmerCode prefix = a2 >> (2 * (k - l));
         if (suffix != prefix) continue;
       }
+      if (og == 0) continue;
       const seq::KmerCode cand = seq::concat_kmers(a1, k, a2, k, l);
       if (cand == tile) continue;
-      const std::uint32_t og = tiles_.counts(cand).og;
-      if (og == 0) continue;
       candidates.push_back({cand, og, seq::kmer_hamming(cand, tile)});
     }
   }
@@ -291,7 +323,7 @@ ReptileCorrector::TileOutcome ReptileCorrector::correct_tile_raw(
   return {TileDecision::kCorrected, only->code};
 }
 
-void ReptileCorrector::sweep(std::string& bases,
+void ReptileCorrector::sweep(seq::PackedSeq& bases,
                              const std::vector<std::uint8_t>& quality,
                              CorrectionStats& stats, Scratch& scratch,
                              TileDecisionCache* cache) const {
@@ -309,9 +341,9 @@ void ReptileCorrector::sweep(std::string& bases,
   int stall = 0;
 
   for (int iter = 0; iter < max_iters && pos + T <= L; ++iter) {
-    const auto code = seq::encode_kmer(
-        std::string_view(bases).substr(static_cast<std::size_t>(pos),
-                                       static_cast<std::size_t>(T)));
+    // Tile extraction is a shift/mask window over the packed words — the
+    // N-mask check replaces the historical per-character decode.
+    const auto code = bases.window(static_cast<std::size_t>(pos), T);
     TileOutcome outcome{TileDecision::kInsufficient, 0};
     if (code) {
       std::span<const std::uint8_t> q;
@@ -326,11 +358,11 @@ void ReptileCorrector::sweep(std::string& bases,
       case TileDecision::kCorrected: {
         ++stats.tiles_corrected;
         for (int i = 0; i < T; ++i) {
-          const char fixed =
-              seq::code_to_base(seq::kmer_base(outcome.corrected, T, i));
-          auto& b = bases[static_cast<std::size_t>(pos + i)];
-          if (b != fixed) {
-            b = fixed;
+          const auto fixed = static_cast<std::uint8_t>(
+              seq::kmer_base(outcome.corrected, T, i));
+          const auto ui = static_cast<std::size_t>(pos + i);
+          if (bases.base_code(ui) != fixed) {
+            bases.set_base(ui, fixed);
             ++stats.bases_changed;
           }
         }
@@ -396,21 +428,28 @@ seq::Read ReptileCorrector::correct(const seq::Read& read,
   seq::Read out = read;
   auto& quality = scratch.quality;
   quality = read.quality;
-  stats.ambiguous_converted += convert_ambiguous(out.bases, quality);
+  stats.ambiguous_converted +=
+      convert_ambiguous(out.bases, quality, scratch.prefix);
+
+  // The read is packed once here and stays 2-bit until the final decode;
+  // both sweeps and the strand flip between them operate on packed words.
+  auto& packed = scratch.packed;
+  packed.assign(out.bases);
 
   // 5' -> 3' sweep.
-  sweep(out.bases, quality, stats, scratch, cache);
+  sweep(packed, quality, stats, scratch, cache);
 
   // 3' -> 5' sweep via the reverse complement (the tables contain both
   // strands, so lookups are directly valid).
-  auto& rc = scratch.rc;
-  rc.assign(out.bases.rbegin(), out.bases.rend());
-  for (char& b : rc) b = seq::complement_base(b);
+  auto& rc = scratch.rc_packed;
+  packed.reverse_complement_into(rc);
   auto& rq = scratch.rq;
   rq.assign(quality.rbegin(), quality.rend());
   sweep(rc, rq, stats, scratch, cache);
-  out.bases.assign(rc.rbegin(), rc.rend());
-  for (char& b : out.bases) b = seq::complement_base(b);
+  rc.reverse_complement_into(packed);
+  // Decode normalizes to uppercase ACGTN — the same canonical form the
+  // historical string pipeline's double reverse-complement produced.
+  packed.to_string(out.bases);
   return out;
 }
 

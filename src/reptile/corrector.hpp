@@ -26,6 +26,7 @@
 #include "kspec/kspectrum.hpp"
 #include "kspec/tile_table.hpp"
 #include "reptile/params.hpp"
+#include "seq/packed.hpp"
 #include "seq/read.hpp"
 #include "util/sharded_cache.hpp"
 
@@ -68,6 +69,14 @@ struct TileCandidate {
   int hd = 0;
 };
 
+/// A kmer option with its spectrum multiplicity pre-gathered, so the
+/// abundance-ranked truncation in kmer_options sorts on a cached value
+/// instead of re-searching the spectrum on every comparison.
+struct KmerOption {
+  seq::KmerCode code = 0;
+  std::uint32_t count = 0;
+};
+
 class ReptileCorrector {
  public:
   /// Reusable per-worker scratch for phase 2. One instance per thread
@@ -77,10 +86,14 @@ class ReptileCorrector {
     std::vector<seq::KmerCode> opts1;       // kmer options for alpha1
     std::vector<seq::KmerCode> opts2;       // kmer options for alpha2
     std::vector<seq::KmerCode> novel;       // novel-kmer neighbor fallback
+    std::vector<KmerOption> opt;            // options + pre-gathered counts
     std::vector<TileCandidate> candidates;  // d-mutant tiles present in R
+    std::vector<std::uint32_t> cross_og;    // cross-product Og matrix
     std::vector<std::uint8_t> quality;      // working copy per read
-    std::string rc;                         // reverse-complement sweep buffer
+    seq::PackedSeq packed;                  // 2-bit working read
+    seq::PackedSeq rc_packed;               // reverse-complement sweep buffer
     std::vector<std::uint8_t> rq;
+    std::vector<int> prefix;                // convert_ambiguous prefix sums
   };
 
   /// Phase 1: ambiguous bases satisfying the density constraint are
@@ -145,20 +158,25 @@ class ReptileCorrector {
                                Scratch& scratch) const;
 
   /// Kmers within Hamming distance [0, d_limit] of `code` that occur in
-  /// the spectrum (including `code` itself). Appends to `out`; `novel`
-  /// is enumeration scratch for kmers absent from the build set.
-  void kmer_options(seq::KmerCode code, int d_limit,
-                    std::vector<seq::KmerCode>& novel,
+  /// the spectrum (including `code` itself). Appends to `out`; scratch
+  /// supplies the enumeration and count-gather buffers. Options beyond
+  /// max_kmer_options are dropped lowest-multiplicity-first, with counts
+  /// gathered once per option (graph neighbors already carry their
+  /// spectrum index; novel kmers resolve through a batched probe).
+  void kmer_options(seq::KmerCode code, int d_limit, Scratch& scratch,
                     std::vector<seq::KmerCode>& out) const;
 
-  /// Algorithm 2 sweep over one orientation of the working read.
-  void sweep(std::string& bases, const std::vector<std::uint8_t>& quality,
+  /// Algorithm 2 sweep over one orientation of the working read (2-bit
+  /// packed; tile codes come from shift/mask window extraction).
+  void sweep(seq::PackedSeq& bases, const std::vector<std::uint8_t>& quality,
              CorrectionStats& stats, Scratch& scratch,
              TileDecisionCache* cache) const;
 
-  /// Converts eligible N's in place; returns number converted.
+  /// Converts eligible N's in place; returns number converted. `prefix`
+  /// is per-worker scratch for the ambiguity prefix sums.
   std::uint64_t convert_ambiguous(std::string& bases,
-                                  std::vector<std::uint8_t>& quality) const;
+                                  std::vector<std::uint8_t>& quality,
+                                  std::vector<int>& prefix) const;
 
   ReptileParams params_;
   kspec::KSpectrum spectrum_;

@@ -12,16 +12,38 @@ namespace ngs::seq {
 inline constexpr int kAlphabetSize = 4;
 inline constexpr std::uint8_t kInvalidBase = 0xff;
 
+namespace detail {
+
+constexpr std::array<std::uint8_t, 256> make_char_code_table() {
+  std::array<std::uint8_t, 256> table{};
+  for (auto& entry : table) entry = kInvalidBase;
+  table['A'] = table['a'] = 0;
+  table['C'] = table['c'] = 1;
+  table['G'] = table['g'] = 2;
+  table['T'] = table['t'] = 3;
+  return table;
+}
+
+}  // namespace detail
+
+/// The one alphabet → 2-bit code path: a 256-entry table indexed by the
+/// raw character, kInvalidBase for non-ACGT (including 'N'). Shared by
+/// the kmer codecs and the packed-read layer so every consumer agrees on
+/// case handling and N classification.
+inline constexpr std::array<std::uint8_t, 256> kCharToCode =
+    detail::make_char_code_table();
+
 /// Maps an ASCII nucleotide to its 2-bit code; kInvalidBase for non-ACGT
 /// (including 'N'). Case-insensitive.
 constexpr std::uint8_t base_to_code(char c) noexcept {
-  switch (c) {
-    case 'A': case 'a': return 0;
-    case 'C': case 'c': return 1;
-    case 'G': case 'g': return 2;
-    case 'T': case 't': return 3;
-    default: return kInvalidBase;
-  }
+  return kCharToCode[static_cast<unsigned char>(c)];
+}
+
+/// Lossy variant: non-ACGT characters map to code 0 ('A', the Reptile
+/// preconversion convention) instead of kInvalidBase.
+constexpr std::uint8_t base_to_code_lossy(char c) noexcept {
+  const std::uint8_t code = kCharToCode[static_cast<unsigned char>(c)];
+  return code == kInvalidBase ? 0 : code;
 }
 
 /// Maps a 2-bit code back to its ASCII nucleotide.

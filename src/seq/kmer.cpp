@@ -19,8 +19,7 @@ KmerCode encode_kmer_lossy(std::string_view s) {
   assert(s.size() <= static_cast<std::size_t>(kMaxK));
   KmerCode code = 0;
   for (char c : s) {
-    const std::uint8_t b = base_to_code(c);
-    code = (code << 2) | (b == kInvalidBase ? 0u : b);
+    code = (code << 2) | base_to_code_lossy(c);
   }
   return code;
 }

@@ -1,0 +1,96 @@
+#include "seq/packed.hpp"
+
+#include <array>
+
+namespace ngs::seq {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 256> make_bit_reverse_table() {
+  std::array<std::uint8_t, 256> table{};
+  for (int v = 0; v < 256; ++v) {
+    std::uint8_t r = 0;
+    for (int b = 0; b < 8; ++b) {
+      r = static_cast<std::uint8_t>((r << 1) | ((v >> b) & 1));
+    }
+    table[static_cast<std::size_t>(v)] = r;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint8_t, 256> kBitReverse = make_bit_reverse_table();
+
+std::uint64_t reverse_bits64(std::uint64_t x) noexcept {
+  std::uint64_t r = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    r = (r << 8) | kBitReverse[(x >> (8 * byte)) & 0xff];
+  }
+  return r;
+}
+
+}  // namespace
+
+void PackedSeq::resize_buffers(std::size_t n) {
+  size_ = n;
+  words_.resize(code_words(n));
+  nmask_.resize(mask_words(n));
+}
+
+void PackedSeq::assign(std::string_view s) {
+  resize_buffers(s.size());
+  std::uint64_t code_word = 0;
+  std::uint64_t mask_word = 0;
+  std::size_t cw = 0;
+  std::size_t mw = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::uint8_t code = kCharToCode[static_cast<unsigned char>(s[i])];
+    if (code == kInvalidBase) {
+      mask_word |= std::uint64_t{1} << (63 - (i & 63));
+    } else {
+      code_word |= static_cast<std::uint64_t>(code) << (62 - 2 * (i & 31));
+    }
+    if ((i & 31) == 31) {
+      words_[cw++] = code_word;
+      code_word = 0;
+    }
+    if ((i & 63) == 63) {
+      nmask_[mw++] = mask_word;
+      mask_word = 0;
+    }
+  }
+  if ((s.size() & 31) != 0) words_[cw] = code_word;
+  if ((s.size() & 63) != 0) nmask_[mw] = mask_word;
+}
+
+void PackedSeq::to_string(std::string& out) const {
+  out.resize(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out[i] = is_n(i) ? 'N' : code_to_base(base_code(i));
+  }
+}
+
+void PackedSeq::reverse_complement_into(PackedSeq& out) const {
+  const std::size_t n = size_;
+  out.resize_buffers(n);
+  // Codes: output chunk [a, a+L) is the packed reverse complement of the
+  // input window [n-a-L, n-a), stored MSB-first in the output word.
+  for (std::size_t a = 0, w = 0; a < n; a += 32, ++w) {
+    const int len = static_cast<int>(n - a < 32 ? n - a : 32);
+    const KmerCode raw = window_raw(n - a - static_cast<std::size_t>(len), len);
+    const KmerCode rc = seq::reverse_complement(raw, len);
+    out.words_[w] = rc << (64 - 2 * static_cast<unsigned>(len));
+  }
+  // N-mask: output chunk bits are the bit-reversed input mask window.
+  for (std::size_t a = 0, w = 0; a < n; a += 64, ++w) {
+    const unsigned len = static_cast<unsigned>(n - a < 64 ? n - a : 64);
+    const std::size_t pos = n - a - len;
+    const std::size_t iw = pos >> 6;
+    const unsigned off = pos & 63;
+    std::uint64_t m = nmask_[iw] << off;
+    if (off != 0 && iw + 1 < nmask_.size()) m |= nmask_[iw + 1] >> (64 - off);
+    if (len < 64) m >>= (64 - len);
+    out.nmask_[w] = reverse_bits64(m);
+  }
+}
+
+}  // namespace ngs::seq

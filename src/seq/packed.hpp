@@ -1,0 +1,126 @@
+#pragma once
+// 2-bit packed sequences with an N-mask: the pass-2 hot-path read
+// representation. A PackedSeq holds one sequence of arbitrary length as
+//
+//   words_  — 2-bit base codes, 32 bases per 64-bit word, MSB-first
+//             (base i of word w sits at bits [62-2*(i%32), 63-2*(i%32)]),
+//             so a window's packed code is recovered by two shifts and
+//             an OR instead of a per-character decode loop;
+//   nmask_  — one bit per base (MSB-first, 64 per word), set when the
+//             source character was not ACGT.
+//
+// The layout makes window(pos, len) — the operation pass 2 performs once
+// per tile placement — a handful of ALU ops: extract up to 64 bits
+// spanning at most two words, shift down, and consult the same two-word
+// extraction on the N-mask to reject ambiguous windows, exactly matching
+// encode_kmer on the corresponding substring.
+//
+// Round-trip semantics: pack(s) followed by to_string yields s with
+// every base uppercased and every non-ACGT character replaced by 'N' —
+// the same normalization the correction sweep's double
+// reverse-complement applied to its output historically, so packed and
+// string pipelines emit byte-identical reads.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+#include "seq/kmer.hpp"
+
+namespace ngs::seq {
+
+class PackedSeq {
+ public:
+  PackedSeq() = default;
+
+  /// Packs `s`, replacing the previous contents. Reuses the internal
+  /// word buffers, so a PackedSeq held in per-worker scratch packs one
+  /// read per call with no steady-state allocation.
+  void assign(std::string_view s);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// 2-bit code of base i (0 for N positions; check has_n/is_n).
+  std::uint8_t base_code(std::size_t i) const noexcept {
+    return static_cast<std::uint8_t>(
+        (words_[i >> 5] >> (62 - 2 * (i & 31))) & 3u);
+  }
+
+  bool is_n(std::size_t i) const noexcept {
+    return ((nmask_[i >> 6] >> (63 - (i & 63))) & 1u) != 0;
+  }
+
+  /// Packed code of the window [pos, pos+len) with the first base in the
+  /// most significant pair (the encode_kmer convention), or nullopt when
+  /// the window contains an N. Precondition: len in [1, 32] and
+  /// pos + len <= size().
+  std::optional<KmerCode> window(std::size_t pos, int len) const noexcept {
+    if (has_n(pos, len)) return std::nullopt;
+    return window_raw(pos, len);
+  }
+
+  /// As window() but ignoring the N-mask (N positions contribute their
+  /// stored 2-bit code, which is 0).
+  KmerCode window_raw(std::size_t pos, int len) const noexcept {
+    const std::size_t w = pos >> 5;
+    const unsigned off = 2 * (pos & 31);
+    std::uint64_t raw = words_[w] << off;
+    if (off != 0 && w + 1 < words_.size()) raw |= words_[w + 1] >> (64 - off);
+    return raw >> (64 - 2 * static_cast<unsigned>(len));
+  }
+
+  /// True when any base of [pos, pos+len) is an N. Precondition:
+  /// len in [1, 64] and pos + len <= size().
+  bool has_n(std::size_t pos, int len) const noexcept {
+    const std::size_t w = pos >> 6;
+    const unsigned off = pos & 63;
+    std::uint64_t m = nmask_[w] << off;
+    if (off != 0 && w + 1 < nmask_.size()) m |= nmask_[w + 1] >> (64 - off);
+    if (len < 64) m >>= (64 - static_cast<unsigned>(len));
+    return m != 0;
+  }
+
+  /// Overwrites base i with a 2-bit code, clearing any N flag — the
+  /// in-place correction write of the packed sweep.
+  void set_base(std::size_t i, std::uint8_t code) noexcept {
+    const unsigned shift = 62 - 2 * (i & 31);
+    std::uint64_t& word = words_[i >> 5];
+    word = (word & ~(std::uint64_t{3} << shift)) |
+           (static_cast<std::uint64_t>(code & 3u) << shift);
+    nmask_[i >> 6] &= ~(std::uint64_t{1} << (63 - (i & 63)));
+  }
+
+  /// Decodes into `out` (resized to size()): uppercase ACGT, 'N' for
+  /// masked positions.
+  void to_string(std::string& out) const;
+  std::string to_string() const {
+    std::string s;
+    to_string(s);
+    return s;
+  }
+
+  /// Rebuilds `out` as the reverse complement of *this (N positions stay
+  /// N). Word-level: each 32-base output chunk is one raw window extract
+  /// plus the packed reverse-complement bit kernel.
+  void reverse_complement_into(PackedSeq& out) const;
+
+ private:
+  /// Number of 64-bit words holding n packed bases (32 per word).
+  static std::size_t code_words(std::size_t n) noexcept {
+    return (n + 31) / 32;
+  }
+  static std::size_t mask_words(std::size_t n) noexcept {
+    return (n + 63) / 64;
+  }
+  void resize_buffers(std::size_t n);
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;  // 2-bit codes, MSB-first
+  std::vector<std::uint64_t> nmask_;  // 1 bit per base, MSB-first
+};
+
+}  // namespace ngs::seq

@@ -1,0 +1,59 @@
+#pragma once
+// Interleaved, software-prefetched binary search: the building block of
+// the batched spectrum/tile-table probe APIs. A single lower_bound over
+// a multi-million-entry sorted array is a chain of dependent,
+// cache-missing loads — each level must complete before the next can
+// start. Pass 2 issues dozens of independent probes per tile, so instead
+// of running them back to back we advance a group of descents in
+// lockstep: every iteration performs one comparison per still-active
+// probe and prefetches that probe's next midpoint, letting the memory
+// system overlap up to kProbeGroup misses instead of serializing them.
+//
+// The descent is the classical half-open invariant ([lo, lo+len) always
+// contains the lower bound), so the result is bit-for-bit the index
+// std::lower_bound would return; batching is purely a scheduling change.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ngs::util {
+
+/// Number of binary-search descents advanced in lockstep. Sized to the
+/// memory-level parallelism a single core can sustain (~10-16
+/// outstanding misses) — larger groups spill registers without adding
+/// overlap.
+inline constexpr std::size_t kProbeGroup = 16;
+
+/// Advances `n_probes` lower_bound descents over `haystack` in lockstep.
+/// On entry, (lo[j], len[j]) is probe j's half-open search range
+/// [lo[j], lo[j]+len[j]); on return lo[j] is the lower_bound index of
+/// keys[j] within that range (len[j] becomes 0). Probes with len == 0 on
+/// entry are untouched.
+inline void interleaved_lower_bound(const std::uint64_t* haystack,
+                                    const std::uint64_t* keys,
+                                    std::size_t* lo, std::size_t* len,
+                                    std::size_t n_probes) noexcept {
+  for (std::size_t j = 0; j < n_probes; ++j) {
+    if (len[j] != 0) __builtin_prefetch(&haystack[lo[j] + (len[j] >> 1)]);
+  }
+  bool active = true;
+  while (active) {
+    active = false;
+    for (std::size_t j = 0; j < n_probes; ++j) {
+      if (len[j] == 0) continue;
+      const std::size_t half = len[j] >> 1;
+      if (haystack[lo[j] + half] < keys[j]) {
+        lo[j] += half + 1;
+        len[j] -= half + 1;
+      } else {
+        len[j] = half;
+      }
+      if (len[j] != 0) {
+        __builtin_prefetch(&haystack[lo[j] + (len[j] >> 1)]);
+        active = true;
+      }
+    }
+  }
+}
+
+}  // namespace ngs::util

@@ -1,0 +1,433 @@
+// Property tests for the 2-bit packed pass-2 hot path: PackedSeq
+// round-trips, window extraction vs the string-slice encode path, the
+// SIMD kernels vs their scalar references at every compiled dispatch
+// level, and the batched spectrum/tile-table probes vs their
+// single-probe counterparts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kspec/kspectrum.hpp"
+#include "kspec/neighborhood.hpp"
+#include "kspec/tile_table.hpp"
+#include "seq/alphabet.hpp"
+#include "seq/kmer.hpp"
+#include "seq/packed.hpp"
+#include "seq/read.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace {
+
+using namespace ngs;
+
+/// Random sequence of length n over ACGT with occasional N runs and
+/// lowercase/invalid characters, exercising every normalization rule.
+std::string random_bases(util::Rng& rng, std::size_t n, bool with_junk) {
+  static constexpr char kUpper[] = {'A', 'C', 'G', 'T'};
+  static constexpr char kLower[] = {'a', 'c', 'g', 't'};
+  std::string s;
+  s.reserve(n);
+  while (s.size() < n) {
+    const std::uint64_t roll = rng.below(100);
+    if (with_junk && roll < 6) {
+      // N run of length 1-5 (clipped at n).
+      const std::size_t run = 1 + rng.below(5);
+      for (std::size_t i = 0; i < run && s.size() < n; ++i) s.push_back('N');
+    } else if (with_junk && roll < 9) {
+      s.push_back(kLower[rng.below(4)]);
+    } else if (with_junk && roll < 10) {
+      s.push_back("RYKMX."[rng.below(6)]);  // other non-ACGT junk
+    } else {
+      s.push_back(kUpper[rng.below(4)]);
+    }
+  }
+  return s;
+}
+
+/// The round-trip normalization contract: uppercase ACGT survive,
+/// everything else becomes 'N'.
+std::string normalized(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    const auto code = seq::base_to_code(c);
+    c = code == seq::kInvalidBase ? 'N' : seq::code_to_base(code);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// PackedSeq round trips.
+
+TEST(PackedSeq, RoundTripAllLengths) {
+  util::Rng rng(1234);
+  seq::PackedSeq ps;
+  for (std::size_t n = 0; n <= 512; ++n) {
+    const std::string s = random_bases(rng, n, /*with_junk=*/true);
+    ps.assign(s);
+    ASSERT_EQ(ps.size(), n);
+    EXPECT_EQ(ps.to_string(), normalized(s)) << "length " << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto code = seq::base_to_code(s[i]);
+      ASSERT_EQ(ps.is_n(i), code == seq::kInvalidBase) << "pos " << i;
+      if (code != seq::kInvalidBase) {
+        ASSERT_EQ(ps.base_code(i), code) << "pos " << i;
+      }
+    }
+  }
+}
+
+TEST(PackedSeq, AssignReusesBuffers) {
+  seq::PackedSeq ps;
+  ps.assign("ACGTNNACGTACGTACGTACGTACGTACGTACGTACGT");
+  ps.assign("TTT");
+  EXPECT_EQ(ps.size(), 3u);
+  EXPECT_EQ(ps.to_string(), "TTT");
+  ps.assign("");
+  EXPECT_TRUE(ps.empty());
+  EXPECT_EQ(ps.to_string(), "");
+}
+
+TEST(PackedSeq, WindowMatchesEncodeKmerAtAllOffsets) {
+  util::Rng rng(99);
+  seq::PackedSeq ps;
+  for (const std::size_t n : {1ul, 31ul, 32ul, 33ul, 63ul, 64ul, 65ul,
+                              127ul, 200ul, 512ul}) {
+    const std::string s = random_bases(rng, n, /*with_junk=*/true);
+    ps.assign(s);
+    for (const int len : {1, 2, 10, 15, 16, 20, 31, 32}) {
+      if (static_cast<std::size_t>(len) > n) continue;
+      for (std::size_t pos = 0; pos + static_cast<std::size_t>(len) <= n;
+           ++pos) {
+        const auto expect = seq::encode_kmer(
+            std::string_view(s).substr(pos, static_cast<std::size_t>(len)));
+        const auto got = ps.window(pos, len);
+        ASSERT_EQ(got.has_value(), expect.has_value())
+            << "n=" << n << " pos=" << pos << " len=" << len;
+        if (expect) {
+          ASSERT_EQ(*got, *expect)
+              << "n=" << n << " pos=" << pos << " len=" << len;
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedSeq, SetBaseWritesCodeAndClearsN) {
+  util::Rng rng(7);
+  seq::PackedSeq ps;
+  const std::string s = random_bases(rng, 200, /*with_junk=*/true);
+  ps.assign(s);
+  std::string mirror = normalized(s);
+  for (int round = 0; round < 500; ++round) {
+    const std::size_t i = rng.below(200);
+    const auto code = static_cast<std::uint8_t>(rng.below(4));
+    ps.set_base(i, code);
+    mirror[i] = seq::code_to_base(code);
+    ASSERT_FALSE(ps.is_n(i));
+    ASSERT_EQ(ps.base_code(i), code);
+  }
+  EXPECT_EQ(ps.to_string(), mirror);
+}
+
+TEST(PackedSeq, ReverseComplementMatchesStringPath) {
+  util::Rng rng(31337);
+  seq::PackedSeq ps, rc, back;
+  for (const std::size_t n :
+       {0ul, 1ul, 2ul, 31ul, 32ul, 33ul, 64ul, 65ul, 100ul, 511ul, 512ul}) {
+    const std::string s = random_bases(rng, n, /*with_junk=*/true);
+    ps.assign(s);
+    ps.reverse_complement_into(rc);
+    ASSERT_EQ(rc.size(), n);
+    EXPECT_EQ(rc.to_string(), seq::reverse_complement(s)) << "length " << n;
+    // Double reverse complement restores the normalized sequence.
+    rc.reverse_complement_into(back);
+    EXPECT_EQ(back.to_string(), normalized(s)) << "length " << n;
+  }
+}
+
+// ---------------------------------------------------------------------
+// SIMD kernels: every compiled dispatch level agrees with scalar.
+
+class SimdDispatch : public ::testing::TestWithParam<util::simd::Level> {
+ protected:
+  void SetUp() override {
+    orig_ = util::simd::active();
+    if (!util::simd::supported(GetParam())) {
+      GTEST_SKIP() << "level " << util::simd::level_name(GetParam())
+                   << " not supported on this build/CPU";
+    }
+    util::simd::force_level(GetParam());
+  }
+  void TearDown() override { util::simd::force_level(orig_); }
+
+ private:
+  util::simd::Level orig_ = util::simd::Level::kScalar;
+};
+
+TEST_P(SimdDispatch, HammingBatchMatchesScalarKernel) {
+  util::Rng rng(42);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::uint64_t> codes(kN);
+  std::vector<std::uint8_t> hd(kN);
+  for (int round = 0; round < 20; ++round) {
+    const int k = 1 + static_cast<int>(rng.below(32));
+    const std::uint64_t mask =
+        k == 32 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (2 * k)) - 1);
+    const std::uint64_t query = rng() & mask;
+    for (auto& c : codes) {
+      // Bias toward near neighbors so small distances are exercised.
+      c = rng.below(4) == 0 ? (query ^ (std::uint64_t{3} << (2 * rng.below(
+                                            static_cast<std::uint64_t>(k)))))
+                            : (rng() & mask);
+    }
+    util::simd::hamming_batch(codes.data(), kN, query, hd.data());
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(static_cast<int>(hd[i]),
+                util::simd::hamming2(codes[i], query))
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST_P(SimdDispatch, MaskedRunFilterMatchesReferenceScan) {
+  util::Rng rng(4242);
+  constexpr int kK = 12;
+  const std::uint64_t mask = (std::uint64_t{1} << (2 * kK)) - 1;
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = 1 + rng.below(300);
+    std::vector<std::uint64_t> codes(n);
+    for (auto& c : codes) c = rng() & mask;
+    std::vector<std::uint32_t> order(n);
+    const std::uint64_t keep =
+        ~(std::uint64_t{0xf} << (2 * rng.below(kK - 1))) & mask;
+    std::sort(codes.begin(), codes.end());
+    for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return (codes[a] & keep) < (codes[b] & keep);
+                     });
+    const std::uint64_t query = codes[rng.below(n)] ^
+                                (rng.below(2) ? 0 : (3ull << (2 * rng.below(kK))));
+    const std::uint64_t key = query & keep;
+    const int d = 1 + static_cast<int>(rng.below(2));
+    // Reference: plain scan from the first masked match.
+    std::size_t start = 0;
+    while (start < n && (codes[order[start]] & keep) < key) ++start;
+    std::vector<std::uint32_t> expect;
+    std::size_t expect_consumed = 0;
+    for (std::size_t i = start; i < n; ++i) {
+      if ((codes[order[i]] & keep) != key) break;
+      ++expect_consumed;
+      const int hd = util::simd::hamming2(codes[order[i]], query);
+      if (hd >= 1 && hd <= d) expect.push_back(order[i]);
+    }
+    std::vector<std::uint32_t> got(n);
+    std::size_t got_n = 0;
+    const std::size_t consumed = util::simd::masked_run_filter(
+        codes.data(), order.data() + start, n - start, keep, key, query, d,
+        got.data(), &got_n);
+    ASSERT_EQ(consumed, expect_consumed) << "round " << round;
+    got.resize(got_n);
+    ASSERT_EQ(got, expect) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, SimdDispatch,
+    ::testing::Values(util::simd::Level::kScalar, util::simd::Level::kAVX2,
+                      util::simd::Level::kNEON),
+    [](const ::testing::TestParamInfo<util::simd::Level>& info) {
+      return util::simd::level_name(info.param);
+    });
+
+// ---------------------------------------------------------------------
+// Neighborhood candidates: scalar and the active SIMD level agree on
+// 10k random neighborhoods, for both retrieval strategies.
+
+TEST(SimdNeighborhoods, ScalarAndBestLevelIdenticalCandidates) {
+  util::Rng rng(777);
+  constexpr int kK = 12;
+  seq::ReadSet reads;
+  for (int i = 0; i < 400; ++i) {
+    reads.reads.push_back({"r", random_bases(rng, 60, false), {}});
+  }
+  const auto spectrum = kspec::KSpectrum::build(reads, kK, true);
+  ASSERT_GT(spectrum.size(), 0u);
+  const kspec::MaskedSortIndex index(spectrum, /*c=*/4, /*d=*/2);
+  const kspec::CandidateEnumerator enumerator(spectrum);
+
+  const util::simd::Level best = util::simd::active();
+  const std::uint64_t mask = (std::uint64_t{1} << (2 * kK)) - 1;
+  std::vector<std::uint32_t> hits;
+  std::vector<seq::KmerCode> enum_scratch;
+  std::size_t nonempty = 0;
+  for (int q = 0; q < 10000; ++q) {
+    // Half the queries perturb a spectrum kmer (guaranteed dense
+    // neighborhoods), half are uniform.
+    const std::uint64_t query =
+        q % 2 == 0 ? spectrum.code_at(rng.below(spectrum.size())) ^
+                         (3ull << (2 * rng.below(kK)))
+                   : (rng() & mask);
+    std::vector<std::pair<seq::KmerCode, std::size_t>> scalar_masked,
+        best_masked, scalar_enum, best_enum;
+    util::simd::force_level(util::simd::Level::kScalar);
+    index.for_each_neighbor(
+        query, [&](seq::KmerCode c, std::size_t i) {
+          scalar_masked.emplace_back(c, i);
+        },
+        hits);
+    enumerator.for_each_neighbor(
+        query, 2,
+        [&](seq::KmerCode c, std::size_t i) {
+          scalar_enum.emplace_back(c, i);
+        },
+        enum_scratch);
+    util::simd::force_level(best);
+    index.for_each_neighbor(
+        query, [&](seq::KmerCode c, std::size_t i) {
+          best_masked.emplace_back(c, i);
+        },
+        hits);
+    enumerator.for_each_neighbor(
+        query, 2,
+        [&](seq::KmerCode c, std::size_t i) {
+          best_enum.emplace_back(c, i);
+        },
+        enum_scratch);
+    ASSERT_EQ(scalar_masked, best_masked) << "query " << q;
+    ASSERT_EQ(scalar_enum, best_enum) << "query " << q;
+    if (!scalar_masked.empty()) ++nonempty;
+  }
+  util::simd::force_level(best);
+  // The perturbed half must actually produce neighbors.
+  EXPECT_GT(nonempty, 4000u);
+}
+
+// ---------------------------------------------------------------------
+// Batched probes agree with the single-probe paths.
+
+TEST(BatchedLookup, SpectrumIndexOfBatchMatchesSingle) {
+  util::Rng rng(2024);
+  seq::ReadSet reads;
+  for (int i = 0; i < 300; ++i) {
+    reads.reads.push_back({"r", random_bases(rng, 50, false), {}});
+  }
+  constexpr int kK = 11;
+  const auto spectrum = kspec::KSpectrum::build(reads, kK, true);
+  const std::uint64_t mask = (std::uint64_t{1} << (2 * kK)) - 1;
+  for (const std::size_t n : {0ul, 1ul, 15ul, 16ul, 17ul, 63ul, 64ul, 65ul,
+                              200ul, 1000ul}) {
+    std::vector<seq::KmerCode> probes(n);
+    for (auto& p : probes) {
+      p = rng.below(2) ? spectrum.code_at(rng.below(spectrum.size()))
+                       : (rng() & mask);
+    }
+    std::vector<std::int64_t> got(n);
+    spectrum.index_of_batch(probes, got);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i], spectrum.index_of(probes[i])) << "n=" << n << " i=" << i;
+    }
+  }
+  std::vector<std::int64_t> bad(3);
+  EXPECT_THROW(
+      spectrum.index_of_batch(std::vector<seq::KmerCode>(2), bad),
+      std::invalid_argument);
+}
+
+TEST(BatchedLookup, TileTableOgBatchMatchesSingle) {
+  util::Rng rng(555);
+  seq::ReadSet reads;
+  for (int i = 0; i < 300; ++i) {
+    reads.reads.push_back({"r", random_bases(rng, 50, false), {}});
+  }
+  kspec::TileParams tp;
+  tp.k = 10;
+  tp.overlap = 0;  // 20bp tiles, the D3 configuration
+  const auto table = kspec::TileTable::build(reads, tp);
+  ASSERT_GT(table.size(), 0u);
+  const std::uint64_t mask = (std::uint64_t{1} << (2 * tp.tile_length())) - 1;
+  for (const std::size_t n : {0ul, 1ul, 16ul, 63ul, 64ul, 65ul, 500ul}) {
+    std::vector<seq::KmerCode> tiles(n);
+    for (auto& t : tiles) {
+      t = rng.below(2) ? table.code_at(rng.below(table.size()))
+                       : (rng() & mask);
+    }
+    std::vector<std::uint32_t> got(n);
+    table.og_batch(tiles, got);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i], table.og(tiles[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+// og_cross must agree with per-pair counts() for every (a1, a2) pair —
+// including the overlap > 0 layout (distinct a2 kmers masking to the
+// same tile contribution) and the large-side fallback path.
+TEST(BatchedLookup, TileTableOgCrossMatchesPerPairCounts) {
+  util::Rng rng(777);
+  seq::ReadSet reads;
+  for (int i = 0; i < 300; ++i) {
+    reads.reads.push_back({"r", random_bases(rng, 50, false), {}});
+  }
+  for (const int overlap : {0, 3}) {
+    kspec::TileParams tp;
+    tp.k = 10;
+    tp.overlap = overlap;
+    const auto table = kspec::TileTable::build(reads, tp);
+    ASSERT_GT(table.size(), 0u);
+    const std::uint64_t kmask = (std::uint64_t{1} << (2 * tp.k)) - 1;
+    const int low_bits = 2 * (tp.k - tp.overlap);
+    const auto ref_og = [&](seq::KmerCode a1, seq::KmerCode a2) {
+      return table
+          .counts((a1 << low_bits) |
+                  (a2 & ((seq::KmerCode{1} << low_bits) - 1)))
+          .og;
+    };
+    // Mix present tile halves (so some pairs hit) with random kmers.
+    const auto random_side = [&](std::size_t n) {
+      std::vector<seq::KmerCode> side(n);
+      for (auto& v : side) {
+        if (rng.below(2)) {
+          const seq::KmerCode tile = table.code_at(rng.below(table.size()));
+          v = rng.below(2) ? (tile >> low_bits) : (tile & kmask);
+        } else {
+          v = rng() & kmask;
+        }
+      }
+      return side;
+    };
+    for (const auto& [n1, n2] : {std::pair<std::size_t, std::size_t>{0, 5},
+                                {5, 0},
+                                {1, 1},
+                                {16, 16},
+                                {17, 33},
+                                {70, 3},   // n1 fallback
+                                {3, 70}})  // n2 fallback
+    {
+      const auto a1 = random_side(n1);
+      const auto a2 = random_side(n2);
+      std::vector<std::uint32_t> got(n1 * n2);
+      table.og_cross(a1, a2, got);
+      for (std::size_t i = 0; i < n1; ++i) {
+        for (std::size_t j = 0; j < n2; ++j) {
+          ASSERT_EQ(got[i * n2 + j], ref_og(a1[i], a2[j]))
+              << "overlap=" << overlap << " n1=" << n1 << " n2=" << n2
+              << " i=" << i << " j=" << j;
+        }
+      }
+    }
+    std::vector<std::uint32_t> bad(3);
+    EXPECT_THROW(
+        table.og_cross(std::vector<seq::KmerCode>(2),
+                       std::vector<seq::KmerCode>(2), bad),
+        std::invalid_argument);
+  }
+}
+
+}  // namespace
