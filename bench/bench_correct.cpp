@@ -11,11 +11,18 @@
 
 #include "bench_common.hpp"
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/pipeline.hpp"
+#include "core/registry.hpp"
+#include "io/fastx.hpp"
 #include "reptile/corrector.hpp"
 #include "reptile/params.hpp"
 #include "util/simd.hpp"
@@ -79,6 +86,32 @@ struct Row {
   double hit_rate = 0.0;
   bool identical = false;
 };
+
+/// One file-to-file run of the whole pipeline (both passes + I/O).
+struct E2eRow {
+  bool io_overlap = false;
+  std::size_t threads = 0;
+  bool oversubscribed = false;
+  double seconds = 0.0;
+  double reads_per_sec = 0.0;
+  bool identical = false;
+  core::OverlapStageStats pass1;
+  core::OverlapStageStats pass2;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+double util_pct(const core::OverlapStageStats& s) {
+  if (s.workers == 0 || s.elapsed_seconds <= 0.0) return 0.0;
+  const double denom =
+      static_cast<double>(s.workers) * s.elapsed_seconds;
+  return 100.0 * (1.0 - std::min(1.0, s.worker_stall_seconds / denom));
+}
 
 }  // namespace
 
@@ -205,6 +238,74 @@ int main() {
             << ", outputs " << (all_identical ? "all identical" : "DIVERGED")
             << ", peak rss " << bench::mem_gb() << " GiB\n";
 
+  // --- End-to-end: file-to-file wall clock with the overlapped
+  // streaming executor on/off. Method sap (streamed spectrum), so both
+  // the pass-1 read-ahead and the pass-2 reader/workers/writer pipeline
+  // are on the measured path, I/O included. Every run's output file
+  // must be byte-identical to the serial single-thread reference.
+  std::cout << "\nEnd-to-end (sap, file to file, I/O included):\n";
+  const auto e2e_dir =
+      std::filesystem::temp_directory_path() /
+      ("bench_correct_e2e_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(e2e_dir);
+  const std::string in_fastq = (e2e_dir / "reads.fastq").string();
+  io::write_fastq_file(in_fastq, reads);
+
+  core::CorrectorConfig e2e_config;
+  e2e_config.genome_length = d3_spec.genome.length;
+  std::string e2e_reference;
+  double e2e_ref_s = 0.0;
+  std::vector<E2eRow> e2e_rows;
+  util::Table e2e_table({"Overlap", "Threads", "Wall (s)", "Reads/s",
+                         "Speedup vs serial 1t", "P2 util", "Identical"});
+  for (const bool overlap : {false, true}) {
+    for (const std::size_t threads : {1ul, 2ul, 4ul}) {
+      core::PipelineOptions popts;
+      popts.threads = threads;
+      popts.io_overlap = overlap;
+      const std::string out_fastq =
+          (e2e_dir / ("out_" + std::to_string(threads) +
+                      (overlap ? "_ov" : "_serial") + ".fastq"))
+              .string();
+      core::PipelineResult res;
+      const double s = best_seconds(kRepeats, [&] {
+        core::CorrectionPipeline pipeline(
+            core::make_corrector("sap", e2e_config), popts);
+        res = pipeline.run_file(in_fastq, out_fastq);
+      });
+      const std::string bytes = slurp(out_fastq);
+      std::filesystem::remove(out_fastq);
+      if (!overlap && threads == 1) {
+        e2e_reference = bytes;
+        e2e_ref_s = s;
+      }
+      E2eRow row;
+      row.io_overlap = overlap;
+      row.threads = threads;
+      row.oversubscribed = hw != 0 && threads > hw;
+      row.seconds = s;
+      row.reads_per_sec = nreads / s;
+      row.identical = bytes == e2e_reference;
+      row.pass1 = res.pass1_overlap;
+      row.pass2 = res.pass2_overlap;
+      all_identical = all_identical && row.identical;
+      e2e_rows.push_back(row);
+      e2e_table.add_row(
+          {overlap ? "on" : "off",
+           std::to_string(threads) + (row.oversubscribed ? "*" : ""),
+           util::Table::fixed(s, 3),
+           util::Table::num(static_cast<std::uint64_t>(row.reads_per_sec)),
+           util::Table::fixed(e2e_ref_s / s, 2) + "x",
+           overlap ? util::Table::fixed(util_pct(row.pass2), 0) + "%" : "-",
+           row.identical ? "yes" : "NO"});
+    }
+  }
+  std::filesystem::remove_all(e2e_dir);
+  e2e_table.print(std::cout);
+  std::cout << "(* = oversubscribed: more workers than the " << hw
+            << " hardware thread(s), overlap gains bounded by real "
+               "parallelism)\n";
+
   // --- JSON record. ---
   const char* json_path = std::getenv("NGS_BENCH_JSON");
   const char* out_path =
@@ -244,7 +345,31 @@ int main() {
          << ", \"byte_identical\": " << (r.identical ? "true" : "false")
          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  json << "  ]\n"
+  json << "  ],\n"
+       << "  \"end_to_end\": {\n"
+       << "    \"method\": \"sap\",\n"
+       << "    \"includes_io\": true,\n"
+       << "    \"serial_1t_s\": " << e2e_ref_s << ",\n"
+       << "    \"runs\": [\n";
+  for (std::size_t i = 0; i < e2e_rows.size(); ++i) {
+    const auto& r = e2e_rows[i];
+    json << "      {\"io_overlap\": " << (r.io_overlap ? "true" : "false")
+         << ", \"threads\": " << r.threads
+         << ", \"oversubscribed\": " << (r.oversubscribed ? "true" : "false")
+         << ", \"seconds\": " << r.seconds
+         << ", \"reads_per_sec\": " << r.reads_per_sec
+         << ", \"byte_identical\": " << (r.identical ? "true" : "false")
+         << ", \"pass1_reader_stall_s\": " << r.pass1.reader_stall_seconds
+         << ", \"pass1_ingest_stall_s\": " << r.pass1.writer_stall_seconds
+         << ", \"pass2_reader_stall_s\": " << r.pass2.reader_stall_seconds
+         << ", \"pass2_writer_stall_s\": " << r.pass2.writer_stall_seconds
+         << ", \"pass2_queue_peak\": " << r.pass2.queue_peak
+         << ", \"pass2_reorder_peak\": " << r.pass2.reorder_peak
+         << ", \"pass2_worker_util_pct\": " << util_pct(r.pass2) << "}"
+         << (i + 1 < e2e_rows.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n"
+       << "  }\n"
        << "}\n";
   std::cout << "wrote " << out_path << "\n";
   return all_identical ? 0 : 1;

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <mutex>
 #include <optional>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 
 #include <sstream>
 
@@ -16,7 +18,9 @@
 #include "io/fastx.hpp"
 #include "kspec/chunked_builder.hpp"
 #include "util/atomic_file.hpp"
+#include "util/bounded_queue.hpp"
 #include "util/memory.hpp"
+#include "util/pipeline_executor.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -58,6 +62,17 @@ struct FileRemover {
   }
 };
 
+/// One unit of the overlapped pass 2: a batch of reads flowing
+/// reader → workers → writer through the PipelineExecutor. `in` views
+/// either `owned` (streamed path) or the buffered ReadSet; moving a
+/// chunk moves the vectors, which keeps their heap buffers — and
+/// therefore the span — valid.
+struct Pass2Chunk {
+  std::vector<seq::Read> owned;
+  std::span<const seq::Read> in;
+  std::vector<seq::Read> out;
+};
+
 }  // namespace
 
 CorrectionPipeline::CorrectionPipeline(std::unique_ptr<Corrector> corrector,
@@ -67,9 +82,14 @@ CorrectionPipeline::CorrectionPipeline(std::unique_ptr<Corrector> corrector,
     throw std::invalid_argument("CorrectionPipeline: null corrector");
   }
   if (options_.batch_size == 0) options_.batch_size = 1;
+  if (options_.queue_depth == 0) options_.queue_depth = 1;
 }
 
-CorrectionPipeline::~CorrectionPipeline() = default;
+CorrectionPipeline::~CorrectionPipeline() {
+  for (std::size_t i = 0; i < scratch_slot_count_; ++i) {
+    delete scratch_slots_[i].load(std::memory_order_relaxed);
+  }
+}
 
 PipelineResult CorrectionPipeline::run_file(const std::string& in_fastq,
                                             const std::string& out_fastq) {
@@ -110,6 +130,10 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
   if (options_.threads > 0) own_pool.emplace(options_.threads);
   util::ThreadPool& pool = own_pool ? *own_pool : util::default_pool();
   const std::size_t batch_size = options_.batch_size;
+  const bool overlap = options_.io_overlap;
+  const std::size_t exec_workers = pool.size();
+  // One slot per concurrent corrector plus one for inline callers.
+  ensure_scratch_slots(exec_workers + 1);
 
   // Transient input-open failures are absorbed by a bounded
   // exponential-backoff retry; the count is surfaced as io_retries.
@@ -143,6 +167,89 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
                   "error writing corrected output batch");
     }
   };
+
+  // Reads resident in the overlapped stages' own buffers (queued +
+  // in-correction + awaiting the in-order writer), for the
+  // peak_buffered_reads bound.
+  std::atomic<std::size_t> in_flight_reads{0};
+  std::atomic<std::size_t> in_flight_peak{0};
+  const auto in_flight_add = [&](std::size_t n) {
+    const std::size_t now =
+        in_flight_reads.fetch_add(n, std::memory_order_relaxed) + n;
+    std::size_t peak = in_flight_peak.load(std::memory_order_relaxed);
+    while (now > peak && !in_flight_peak.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  };
+
+  // Overlapped pass 2: reader thread → bounded queue → dynamic workers
+  // → order-restoring writer (this thread), on util::PipelineExecutor.
+  // `fill` produces the next chunk (serially, on the reader thread);
+  // spent chunks are recycled so steady state allocates nothing.
+  std::vector<Pass2Chunk> chunk_recycle;
+  std::mutex recycle_mutex;
+  const auto run_pass2_overlapped =
+      [&](const std::function<bool(Pass2Chunk&)>& fill) {
+        util::PipelineExecutorOptions exec_options;
+        exec_options.workers = exec_workers;
+        exec_options.queue_depth = options_.queue_depth;
+        util::PipelineExecutor<Pass2Chunk> executor(exec_options);
+        std::mutex report_mutex;
+        const auto stats = executor.run(
+            [&](Pass2Chunk& chunk) -> bool {
+              fault::maybe_fail(fault::sites::kPipelineReader,
+                                ErrorKind::kIo, "pass-2 read-ahead failed");
+              {
+                std::lock_guard<std::mutex> lock(recycle_mutex);
+                if (!chunk_recycle.empty()) {
+                  chunk = std::move(chunk_recycle.back());
+                  chunk_recycle.pop_back();
+                }
+              }
+              chunk.owned.clear();
+              chunk.out.clear();
+              chunk.in = {};
+              if (!fill(chunk)) return false;
+              in_flight_add(chunk.in.size());
+              return true;
+            },
+            [&](Pass2Chunk& chunk, std::size_t worker) {
+              CorrectionReport local;
+              auto scratch = acquire_scratch(worker);
+              chunk.out.reserve(chunk.in.size());
+              correct_span(chunk.in, chunk.out, local, scratch.get());
+              release_scratch(std::move(scratch), worker);
+              std::lock_guard<std::mutex> lock(report_mutex);
+              result.report.merge(local);
+            },
+            [&](Pass2Chunk&& chunk) {
+              fault::maybe_fail(fault::sites::kPipelineWriter,
+                                ErrorKind::kIo,
+                                "pass-2 ordered write failed");
+              write_batch(std::span<const seq::Read>(chunk.out));
+              ++result.batches;
+              in_flight_reads.fetch_sub(chunk.in.size(),
+                                        std::memory_order_relaxed);
+              chunk.owned.clear();
+              chunk.out.clear();
+              chunk.in = {};
+              std::lock_guard<std::mutex> lock(recycle_mutex);
+              chunk_recycle.push_back(std::move(chunk));
+            });
+        result.overlapped = true;
+        auto& s2 = result.pass2_overlap;
+        s2.items = stats.items;
+        s2.queue_peak = stats.queue_peak;
+        s2.reorder_peak = stats.reorder_peak;
+        s2.workers = exec_workers;
+        s2.reader_busy_seconds = stats.reader_busy_seconds;
+        s2.reader_stall_seconds = stats.reader_stall_seconds;
+        s2.worker_stall_seconds = stats.worker_stall_seconds;
+        s2.writer_busy_seconds = stats.writer_busy_seconds;
+        s2.writer_stall_seconds = stats.writer_stall_seconds;
+        s2.elapsed_seconds = stats.elapsed_seconds;
+        result.pass2_seconds += stats.elapsed_seconds;
+      };
 
   std::vector<seq::Read> in_batch, out_batch;
   std::uint64_t index_checksum = 0;
@@ -201,14 +308,84 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
       auto is = open_with_retry();
       io::FastqStreamReader reader(*is);
       reader.set_bad_record_policy(options_.on_bad_record);
-      while (reader.read_batch(in_batch, batch_size) > 0) {
-        for (const auto& r : in_batch) {
-          builder.add_read(r.bases);
-          result.input.add(r);
+      if (overlap) {
+        // Overlapped ingest: a dedicated reader thread parses batches
+        // ahead through a bounded queue while this thread streams them
+        // into the builder — parsing and kmer extraction (including
+        // batch sorts and spill writes) proceed concurrently instead of
+        // taking turns. The builder itself is only ever touched from
+        // this thread, so it needs no locking.
+        const util::Timer pass1_timer;
+        util::BoundedQueue<std::vector<seq::Read>> queue(
+            options_.queue_depth);
+        std::vector<std::vector<seq::Read>> batch_recycle;
+        std::mutex batch_recycle_mutex;
+        std::exception_ptr reader_error;
+        std::thread reader_thread([&] {
+          try {
+            for (;;) {
+              fault::maybe_fail(fault::sites::kPipelineReader,
+                                ErrorKind::kIo, "pass-1 read-ahead failed");
+              std::vector<seq::Read> batch;
+              {
+                std::lock_guard<std::mutex> lock(batch_recycle_mutex);
+                if (!batch_recycle.empty()) {
+                  batch = std::move(batch_recycle.back());
+                  batch_recycle.pop_back();
+                }
+              }
+              batch.clear();
+              if (reader.read_batch(batch, batch_size) == 0) break;
+              in_flight_add(batch.size());
+              if (!queue.push(std::move(batch))) break;
+            }
+          } catch (...) {
+            reader_error = std::current_exception();
+          }
+          queue.close();
+        });
+        std::size_t batches_ingested = 0;
+        try {
+          std::vector<seq::Read> batch;
+          while (queue.pop(batch)) {
+            builder.add_read_batch(batch);
+            for (const auto& r : batch) result.input.add(r);
+            in_flight_reads.fetch_sub(batch.size(),
+                                      std::memory_order_relaxed);
+            ++batches_ingested;
+            batch.clear();
+            std::lock_guard<std::mutex> lock(batch_recycle_mutex);
+            batch_recycle.push_back(std::move(batch));
+            batch = std::vector<seq::Read>();
+          }
+        } catch (...) {
+          // Ingest (spill write, sort) failed: unblock a reader stuck
+          // on a full queue, reap the thread, then surface the error.
+          queue.abort();
+          reader_thread.join();
+          throw;
         }
-        result.peak_buffered_reads =
-            std::max(result.peak_buffered_reads, in_batch.size());
-        in_batch.clear();
+        reader_thread.join();
+        if (reader_error) std::rethrow_exception(reader_error);
+        auto& s1 = result.pass1_overlap;
+        s1.items = batches_ingested;
+        s1.queue_peak = queue.peak_size();
+        s1.workers = 1;
+        s1.reader_busy_seconds = reader.parse_seconds();
+        s1.reader_stall_seconds = queue.push_wait_seconds();
+        s1.writer_busy_seconds = builder.ingest_seconds();
+        s1.writer_stall_seconds = queue.pop_wait_seconds();
+        s1.elapsed_seconds = pass1_timer.seconds();
+      } else {
+        while (reader.read_batch(in_batch, batch_size) > 0) {
+          for (const auto& r : in_batch) {
+            builder.add_read(r.bases);
+            result.input.add(r);
+          }
+          result.peak_buffered_reads =
+              std::max(result.peak_buffered_reads, in_batch.size());
+          in_batch.clear();
+        }
       }
       pass1_skipped_records = reader.records_skipped();
       ngs::index::IndexBuildInfo build;
@@ -268,19 +445,29 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
       }
       result.spectrum_peak_tracked_bytes = builder.peak_tracked_bytes();
     }
-    // Pass 2: re-stream, correct each batch in parallel, write in order.
+    // Pass 2: re-stream, correct batches in parallel, write in order —
+    // on the overlapped executor by default, or the serial stop-and-go
+    // loop with --io-overlap=off.
     auto is = open_with_retry();
     io::FastqStreamReader reader(*is);
     reader.set_bad_record_policy(options_.on_bad_record);
-    while (reader.read_batch(in_batch, batch_size) > 0) {
-      result.peak_buffered_reads =
-          std::max(result.peak_buffered_reads, in_batch.size());
-      util::Timer pass2_timer;
-      correct_batch_parallel(pool, in_batch, out_batch, result.report);
-      result.pass2_seconds += pass2_timer.seconds();
-      write_batch(std::span<const seq::Read>(out_batch));
-      ++result.batches;
-      in_batch.clear();
+    if (overlap) {
+      run_pass2_overlapped([&](Pass2Chunk& chunk) {
+        if (reader.read_batch(chunk.owned, batch_size) == 0) return false;
+        chunk.in = std::span<const seq::Read>(chunk.owned);
+        return true;
+      });
+    } else {
+      while (reader.read_batch(in_batch, batch_size) > 0) {
+        result.peak_buffered_reads =
+            std::max(result.peak_buffered_reads, in_batch.size());
+        util::Timer pass2_timer;
+        correct_batch_parallel(pool, in_batch, out_batch, result.report);
+        result.pass2_seconds += pass2_timer.seconds();
+        write_batch(std::span<const seq::Read>(out_batch));
+        ++result.batches;
+        in_batch.clear();
+      }
     }
     // A genuinely malformed record is dropped by both passes, so take
     // the max rather than the sum (summing would double-count it;
@@ -310,16 +497,31 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
     result.peak_buffered_reads = all.reads.size();
     corrector_->build(all);
     if (corrector_->supports_batches()) {
-      for (std::size_t offset = 0; offset < all.reads.size();
-           offset += batch_size) {
-        const std::size_t n =
-            std::min(batch_size, all.reads.size() - offset);
-        util::Timer pass2_timer;
-        correct_batch_parallel(pool, {all.reads.data() + offset, n},
-                               out_batch, result.report);
-        result.pass2_seconds += pass2_timer.seconds();
-        write_batch(std::span<const seq::Read>(out_batch));
-        ++result.batches;
+      if (overlap) {
+        // The input is already resident, but correction and output
+        // writing still overlap: chunks view the buffered ReadSet, so
+        // the executor adds no copies.
+        std::size_t offset = 0;
+        run_pass2_overlapped([&](Pass2Chunk& chunk) {
+          if (offset >= all.reads.size()) return false;
+          const std::size_t n =
+              std::min(batch_size, all.reads.size() - offset);
+          chunk.in = std::span<const seq::Read>(all.reads.data() + offset, n);
+          offset += n;
+          return true;
+        });
+      } else {
+        for (std::size_t offset = 0; offset < all.reads.size();
+             offset += batch_size) {
+          const std::size_t n =
+              std::min(batch_size, all.reads.size() - offset);
+          util::Timer pass2_timer;
+          correct_batch_parallel(pool, {all.reads.data() + offset, n},
+                                 out_batch, result.report);
+          result.pass2_seconds += pass2_timer.seconds();
+          write_batch(std::span<const seq::Read>(out_batch));
+          ++result.batches;
+        }
       }
     } else {
       util::Timer pass2_timer;
@@ -334,6 +536,9 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
       }
     }
   }
+  result.peak_buffered_reads =
+      std::max(result.peak_buffered_reads,
+               in_flight_peak.load(std::memory_order_relaxed));
   out.flush();
   if (!out) {
     throw Error(ErrorKind::kIo, fault::sites::kOutputWrite,
@@ -356,6 +561,44 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
         "pass2_reads_per_sec",
         static_cast<std::uint64_t>(static_cast<double>(result.report.reads) /
                                    result.pass2_seconds));
+  }
+  // Overlap telemetry: where the stages' time went and how full the
+  // buffers got. Only on overlapped runs, so --io-overlap=off (and the
+  // whole-set methods) keep reports byte-identical to previous releases.
+  if (result.overlapped) {
+    const auto ms = [](double seconds) {
+      return static_cast<std::uint64_t>(seconds * 1000.0 + 0.5);
+    };
+    result.report.bump("io_overlap", 1);
+    result.report.bump("queue_depth", options_.queue_depth);
+    if (result.pass1_overlap.workers > 0) {
+      const auto& s1 = result.pass1_overlap;
+      result.report.bump("pass1_reader_stall_ms",
+                         ms(s1.reader_stall_seconds));
+      result.report.bump("pass1_ingest_stall_ms",
+                         ms(s1.writer_stall_seconds));
+      result.report.bump("pass1_queue_peak", s1.queue_peak);
+    }
+    if (result.pass2_overlap.workers > 0) {
+      const auto& s2 = result.pass2_overlap;
+      result.report.bump("pass2_reader_stall_ms",
+                         ms(s2.reader_stall_seconds));
+      result.report.bump("pass2_writer_stall_ms",
+                         ms(s2.writer_stall_seconds));
+      result.report.bump("pass2_worker_stall_ms",
+                         ms(s2.worker_stall_seconds));
+      result.report.bump("pass2_queue_peak", s2.queue_peak);
+      result.report.bump("pass2_reorder_peak", s2.reorder_peak);
+      double util = 0.0;
+      if (s2.elapsed_seconds > 0.0 && s2.workers > 0) {
+        util = 1.0 - s2.worker_stall_seconds /
+                         (s2.elapsed_seconds *
+                          static_cast<double>(s2.workers));
+        if (util < 0.0) util = 0.0;
+      }
+      result.report.bump("pass2_worker_util_pct",
+                         static_cast<std::uint64_t>(util * 100.0 + 0.5));
+    }
   }
   // Degradation accounting: what was dropped, passed through, or
   // retried — zero-valued keys are omitted so fault-free reports are
@@ -380,23 +623,91 @@ PipelineResult CorrectionPipeline::run(const StreamFactory& open_input,
   return result;
 }
 
-std::unique_ptr<BatchScratch> CorrectionPipeline::acquire_scratch() {
-  {
-    std::lock_guard<std::mutex> lock(scratch_mutex_);
-    if (!scratch_pool_.empty()) {
-      auto scratch = std::move(scratch_pool_.back());
-      scratch_pool_.pop_back();
-      return scratch;
-    }
+void CorrectionPipeline::ensure_scratch_slots(std::size_t n) {
+  if (n <= scratch_slot_count_) return;
+  auto grown = std::make_unique<std::atomic<BatchScratch*>[]>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    grown[i].store(i < scratch_slot_count_
+                       ? scratch_slots_[i].load(std::memory_order_relaxed)
+                       : nullptr,
+                   std::memory_order_relaxed);
+  }
+  scratch_slots_ = std::move(grown);
+  scratch_slot_count_ = n;
+}
+
+std::unique_ptr<BatchScratch> CorrectionPipeline::acquire_scratch(
+    std::size_t hint) {
+  const std::size_t n = scratch_slot_count_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t slot = (hint + i) % n;
+    BatchScratch* held =
+        scratch_slots_[slot].exchange(nullptr, std::memory_order_acq_rel);
+    if (held != nullptr) return std::unique_ptr<BatchScratch>(held);
   }
   return corrector_->make_scratch();
 }
 
-void CorrectionPipeline::release_scratch(
-    std::unique_ptr<BatchScratch> scratch) {
+void CorrectionPipeline::release_scratch(std::unique_ptr<BatchScratch> scratch,
+                                         std::size_t hint) {
   if (scratch == nullptr) return;
-  std::lock_guard<std::mutex> lock(scratch_mutex_);
-  scratch_pool_.push_back(std::move(scratch));
+  BatchScratch* raw = scratch.release();
+  const std::size_t n = scratch_slot_count_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t slot = (hint + i) % n;
+    BatchScratch* expected = nullptr;
+    if (scratch_slots_[slot].compare_exchange_strong(
+            expected, raw, std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+  delete raw;  // every slot occupied: more concurrent callers than slots
+}
+
+void CorrectionPipeline::correct_span(std::span<const seq::Read> in,
+                                      std::vector<seq::Read>& out,
+                                      CorrectionReport& local,
+                                      BatchScratch* scratch) {
+  // Precondition: `out` empty and `local` fresh — both are per-block,
+  // so the salvage path below can discard partial tallies wholesale.
+  bool block_ok = true;
+  try {
+    fault::maybe_fail(fault::sites::kPass2Batch, ErrorKind::kInternal,
+                      "pass-2 batch correction failed");
+    corrector_->correct_batch(in, out, local, scratch);
+    if (out.size() != in.size()) {
+      throw Error(ErrorKind::kInternal, fault::sites::kPass2Batch,
+                  "correct_batch returned a different number of reads");
+    }
+  } catch (...) {
+    block_ok = false;
+  }
+  if (block_ok) return;
+  // Graceful degradation: re-correct the block one read at a time.
+  // A read whose correction still throws passes through uncorrected
+  // (counted as reads_failed) — one bad read degrades itself, not
+  // the batch, not the run.
+  local = CorrectionReport{};  // discard partial batch tallies
+  out.clear();
+  std::vector<seq::Read> one;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    one.clear();
+    try {
+      fault::maybe_fail(fault::sites::kPass2Read, ErrorKind::kInternal,
+                        "pass-2 read correction failed");
+      corrector_->correct_batch(in.subspan(i, 1), one, local, scratch);
+      if (one.size() != 1) {
+        throw Error(ErrorKind::kInternal, fault::sites::kPass2Read,
+                    "correct_batch returned a different number of reads");
+      }
+      out.push_back(std::move(one[0]));
+    } catch (...) {
+      out.push_back(in[i]);
+      ++local.reads;
+      local.bump("reads_failed", 1);
+    }
+  }
+  local.bump("batches_salvaged", 1);
 }
 
 void CorrectionPipeline::correct_batch_parallel(util::ThreadPool& pool,
@@ -406,59 +717,24 @@ void CorrectionPipeline::correct_batch_parallel(util::ThreadPool& pool,
   out.clear();
   out.resize(in.size());
   std::mutex report_mutex;
-  pool.parallel_for_blocked(0, in.size(), [&](std::size_t lo, std::size_t hi) {
-    CorrectionReport local;
-    std::vector<seq::Read> block;
-    auto scratch = acquire_scratch();
-    bool block_ok = true;
-    try {
-      fault::maybe_fail(fault::sites::kPass2Batch, ErrorKind::kInternal,
-                        "pass-2 batch correction failed");
-      block.reserve(hi - lo);
-      corrector_->correct_batch(in.subspan(lo, hi - lo), block, local,
-                                scratch.get());
-      if (block.size() != hi - lo) {
-        throw Error(ErrorKind::kInternal, fault::sites::kPass2Batch,
-                    "correct_batch returned a different number of reads");
-      }
-    } catch (...) {
-      block_ok = false;
-    }
-    if (!block_ok) {
-      // Graceful degradation: re-correct the block one read at a time.
-      // A read whose correction still throws passes through uncorrected
-      // (counted as reads_failed) — one bad read degrades itself, not
-      // the batch, not the run.
-      local = CorrectionReport{};  // discard partial batch tallies
-      block.clear();
-      std::vector<seq::Read> one;
-      for (std::size_t i = lo; i < hi; ++i) {
-        one.clear();
-        try {
-          fault::maybe_fail(fault::sites::kPass2Read, ErrorKind::kInternal,
-                            "pass-2 read correction failed");
-          corrector_->correct_batch(in.subspan(i, 1), one, local,
-                                    scratch.get());
-          if (one.size() != 1) {
-            throw Error(ErrorKind::kInternal, fault::sites::kPass2Read,
-                        "correct_batch returned a different number of reads");
-          }
-          block.push_back(std::move(one[0]));
-        } catch (...) {
-          block.push_back(in[i]);
-          ++local.reads;
-          local.bump("reads_failed", 1);
+  // Dynamic claiming: workers grab blocks off a shared atomic ticket,
+  // so a straggler block delays only itself instead of holding the
+  // whole static-partition barrier hostage.
+  pool.parallel_for_dynamic(
+      0, in.size(), 0, [&](std::size_t lo, std::size_t hi) {
+        CorrectionReport local;
+        std::vector<seq::Read> block;
+        block.reserve(hi - lo);
+        const std::size_t hint = util::ThreadPool::worker_index();
+        auto scratch = acquire_scratch(hint);
+        correct_span(in.subspan(lo, hi - lo), block, local, scratch.get());
+        release_scratch(std::move(scratch), hint);
+        for (std::size_t i = 0; i < block.size(); ++i) {
+          out[lo + i] = std::move(block[i]);
         }
-      }
-      local.bump("batches_salvaged", 1);
-    }
-    release_scratch(std::move(scratch));
-    for (std::size_t i = 0; i < block.size(); ++i) {
-      out[lo + i] = std::move(block[i]);
-    }
-    std::lock_guard<std::mutex> lock(report_mutex);
-    report.merge(local);
-  });
+        std::lock_guard<std::mutex> lock(report_mutex);
+        report.merge(local);
+      });
 }
 
 }  // namespace ngs::core

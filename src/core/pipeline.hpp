@@ -9,18 +9,30 @@
 //            SAP, HiTEC, REDEEM — peak read buffering stays O(batch))
 //            or are buffered into a ReadSet (methods needing the full
 //            input: Reptile's tile table, SHREC, FreClu, hybrid);
-//   pass 2 — each batch is corrected in parallel on a util::ThreadPool
-//            and written to the output FASTQ in input order.
+//   pass 2 — batches are corrected in parallel and written to the
+//            output FASTQ in input order.
+//
+// With io_overlap (the default) both passes run on an overlapped
+// streaming plan instead of the stop-and-go read → compute → write
+// loop: pass 1 parses on a dedicated reader thread while the main
+// thread ingests into the spectrum builder, and pass 2 runs on a
+// util::PipelineExecutor (reader thread → bounded queue → dynamic
+// workers → order-restoring writer). Stage telemetry (stall seconds,
+// queue/reorder occupancy peaks, worker utilization) lands in
+// PipelineResult and the report extras. io_overlap=false reproduces the
+// serial loops exactly.
 //
 // Output is byte-identical to the in-memory Corrector::correct_all path
-// for every method (reads are corrected independently within a batch,
-// and whole-set methods fall back to their native pass).
+// for every method, at every thread count and queue depth (reads are
+// corrected independently within a batch, the executor restores input
+// order before writing, and whole-set methods fall back to their native
+// pass).
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +56,21 @@ struct PipelineOptions {
   std::size_t spectrum_threads = 0;
   /// Kmer instances buffered per ChunkedSpectrumBuilder batch in pass 1.
   std::size_t spectrum_batch_instances = 1 << 20;
+  /// Overlap file I/O with compute (ngs-correct --io-overlap): a
+  /// dedicated reader thread double-buffers FASTQ batches ahead of the
+  /// spectrum build in pass 1 and ahead of the correction workers in
+  /// pass 2, and a dedicated in-order writer drains pass 2 — so parsing,
+  /// correcting, and writing proceed concurrently instead of taking
+  /// turns. Output is byte-identical either way; false reproduces the
+  /// serial stop-and-go loops exactly (and zeroes the overlap
+  /// telemetry).
+  bool io_overlap = true;
+  /// Bounded read-ahead of the overlapped paths (ngs-correct
+  /// --queue-depth): how many parsed batches the reader may run ahead
+  /// of compute. Total in-flight batches in pass 2 stay under
+  /// queue_depth + 2*workers + 1 (the executor's documented cap), so
+  /// memory remains O(batch_size x small constant).
+  std::size_t queue_depth = 4;
   /// Path of a persisted spectrum index (ngs::index) to mmap instead of
   /// building pass 1 from the reads; empty = build fresh. Only valid
   /// for streaming methods (Corrector::spectrum_k() > 0) and only when
@@ -82,25 +109,58 @@ struct PipelineOptions {
   int io_retry_backoff_ms = 5;
 };
 
+/// Stage telemetry of one overlapped pass (all zero when the pass ran
+/// serially): where the wall time went and how full the buffers got.
+/// "Stall" is time a stage spent blocked on its neighbors — reader
+/// stalls mean compute is the bottleneck; worker/writer stalls mean
+/// input I/O is.
+struct OverlapStageStats {
+  /// Batches that flowed through the stage pipeline.
+  std::size_t items = 0;
+  /// Input-queue occupancy high-water mark (<= queue_depth).
+  std::size_t queue_peak = 0;
+  /// Reorder-buffer high-water mark (pass 2 only).
+  std::size_t reorder_peak = 0;
+  /// Worker threads the pass ran with (1 for pass 1's single ingester).
+  std::size_t workers = 0;
+  double reader_busy_seconds = 0.0;
+  double reader_stall_seconds = 0.0;
+  double worker_stall_seconds = 0.0;
+  double writer_busy_seconds = 0.0;
+  double writer_stall_seconds = 0.0;
+  /// Wall time of the whole overlapped pass.
+  double elapsed_seconds = 0.0;
+};
+
 struct PipelineResult {
   CorrectionReport report;
   InputSummary input;
   /// Number of output batches written.
   std::size_t batches = 0;
   /// Largest number of reads resident in the pipeline's own buffers at
-  /// any point: <= batch_size on the streamed path, the whole input on
-  /// the buffered path.
+  /// any point: <= batch_size on the serial streamed path, <=
+  /// batch_size * (queue_depth + 2*workers + 1) on the overlapped
+  /// streamed path, the whole input on the buffered path.
   std::size_t peak_buffered_reads = 0;
   /// util::peak_rss_bytes() sampled at completion (process-wide telemetry).
   std::uint64_t peak_rss_bytes = 0;
   /// True when phase 1 ran from the streamed spectrum.
   bool streamed = false;
+  /// True when the run used the overlapped executor (io_overlap on and
+  /// the method supports batches).
+  bool overlapped = false;
   /// True when phase 1 was skipped entirely in favor of a loaded
   /// spectrum index (report extras then carry index_path/index_checksum
   /// /pass1_skipped provenance).
   bool pass1_skipped = false;
-  /// Wall time spent in phase-2 batch correction (excludes phase 1 and
-  /// output writing); report.extra("pass2_reads_per_sec") derives from it.
+  /// Per-stage telemetry of the overlapped passes (zero when serial;
+  /// pass1_overlap only on the streamed-spectrum path).
+  OverlapStageStats pass1_overlap;
+  OverlapStageStats pass2_overlap;
+  /// Wall time of phase 2. Serial paths: batch correction only
+  /// (excludes reading and writing). Overlapped pass 2: the whole
+  /// read+correct+write pipeline, since the stages run concurrently.
+  /// report.extra("pass2_reads_per_sec") derives from it.
   double pass2_seconds = 0.0;
   /// Malformed records dropped across all passes under
   /// BadRecordPolicy::kSkip (also report extra "reads_skipped").
@@ -153,18 +213,33 @@ class CorrectionPipeline {
                               std::vector<seq::Read>& out,
                               CorrectionReport& report);
 
-  /// Checks a per-worker scratch object out of / back into the reuse
-  /// pool (created on demand via corrector_->make_scratch()). Pooling
-  /// spans batches, so a worker's buffers stay warm for the whole run;
-  /// the two lock acquisitions per block are negligible next to the
-  /// hundreds of reads each block corrects.
-  std::unique_ptr<BatchScratch> acquire_scratch();
-  void release_scratch(std::unique_ptr<BatchScratch> scratch);
+  /// Corrects one contiguous span with the batch-then-salvage ladder
+  /// (kPass2Batch / kPass2Read degradation): appends exactly in.size()
+  /// reads to `out`, tallying into the caller-local report. Shared by
+  /// the pool blocks of correct_batch_parallel and the executor workers
+  /// of the overlapped pass 2.
+  void correct_span(std::span<const seq::Read> in,
+                    std::vector<seq::Read>& out, CorrectionReport& local,
+                    BatchScratch* scratch);
+
+  /// Per-worker scratch slots (created on demand via
+  /// corrector_->make_scratch()). Lock-free in steady state: slot i is
+  /// an atomic pointer a worker exchanges out on acquire and back in on
+  /// release, with `hint` (the worker's index) making re-acquisition of
+  /// the same warm scratch the common O(1) case. Replaces the old
+  /// mutex-guarded pool — the overlapped executor checks scratch in and
+  /// out per item, so the lock would sit on the hot path.
+  std::unique_ptr<BatchScratch> acquire_scratch(std::size_t hint);
+  void release_scratch(std::unique_ptr<BatchScratch> scratch,
+                       std::size_t hint);
+  /// Grows the slot array to at least `n` entries. Call only from the
+  /// run() thread while no workers are active.
+  void ensure_scratch_slots(std::size_t n);
 
   std::unique_ptr<Corrector> corrector_;
   PipelineOptions options_;
-  std::vector<std::unique_ptr<BatchScratch>> scratch_pool_;
-  std::mutex scratch_mutex_;
+  std::unique_ptr<std::atomic<BatchScratch*>[]> scratch_slots_;
+  std::size_t scratch_slot_count_ = 0;
 };
 
 }  // namespace ngs::core

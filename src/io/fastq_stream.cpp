@@ -5,6 +5,7 @@
 
 #include "fault/fault.hpp"
 #include "io/fastx.hpp"
+#include "util/timer.hpp"
 
 namespace ngs::io {
 namespace {
@@ -51,6 +52,7 @@ bool FastqStreamReader::getline_counted(std::string& out) {
     return false;  // clean EOF
   }
   ++line_;
+  bytes_ += out.size() + 1;  // + the newline getline consumed
   strip_cr(out);
   return true;
 }
@@ -128,6 +130,7 @@ bool FastqStreamReader::next(seq::Read& read) {
 
 std::size_t FastqStreamReader::read_batch(std::vector<seq::Read>& out,
                                           std::size_t max_reads) {
+  const util::Timer batch_timer;
   std::size_t appended = 0;
   seq::Read read;
   while (appended < max_reads && next(read)) {
@@ -135,6 +138,7 @@ std::size_t FastqStreamReader::read_batch(std::vector<seq::Read>& out,
     read = seq::Read{};
     ++appended;
   }
+  parse_seconds_ += batch_timer.seconds();
   return appended;
 }
 

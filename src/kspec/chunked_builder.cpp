@@ -7,6 +7,7 @@
 #include "kspec/radix.hpp"
 #include "seq/alphabet.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace ngs::kspec {
 
@@ -50,6 +51,7 @@ void ChunkedSpectrumBuilder::add_read(std::string_view bases) {
   if (finish_pending_reset_) {
     peak_tracked_bytes_ = 0;
     spill_bytes_ = 0;
+    ingest_seconds_ = 0.0;
     finish_pending_reset_ = false;
   }
   if (memory_budget_ > 0 && buffer_.capacity() == 0) {
@@ -88,6 +90,12 @@ void ChunkedSpectrumBuilder::spill_buffer() {
 
 void ChunkedSpectrumBuilder::add_reads(const seq::ReadSet& reads) {
   for (const auto& r : reads.reads) add_read(r.bases);
+}
+
+void ChunkedSpectrumBuilder::add_read_batch(std::span<const seq::Read> reads) {
+  const util::Timer batch_timer;
+  for (const auto& r : reads) add_read(r.bases);
+  ingest_seconds_ += batch_timer.seconds();
 }
 
 void ChunkedSpectrumBuilder::add_fastq(std::istream& fastq) {

@@ -1,0 +1,147 @@
+#pragma once
+// A bounded MPMC blocking queue — the backpressure primitive of the
+// streaming executor (util::PipelineExecutor) and the pass-1 read-ahead
+// path in core::CorrectionPipeline.
+//
+// Semantics:
+//   - push() blocks while the queue is full (backpressure on the
+//     producer) and returns false once the queue is closed or aborted —
+//     a producer can never wedge on a consumer that went away.
+//   - pop() blocks while the queue is empty and returns false only when
+//     the queue is closed AND drained (graceful end of stream) or
+//     aborted (failure teardown, remaining items dropped).
+//   - close() seals the producer side; consumers drain what is left.
+//   - abort() is the failure path: every blocked or future push/pop
+//     returns false immediately. The owner of the queue propagates the
+//     actual error; the queue only guarantees nobody hangs.
+//
+// Telemetry (for the pipeline's stall accounting): cumulative seconds
+// producers spent blocked on a full queue, cumulative seconds consumers
+// spent blocked on an empty one, and the occupancy high-water mark.
+// All counters are maintained under the queue mutex, so reading them
+// while threads are still active is safe but momentary.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace ngs::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full. Returns true when the item was enqueued, false
+  /// when the queue is closed or aborted (the item is dropped; the
+  /// caller still owns nothing — it was moved-from only on success).
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.size() >= capacity_ && !closed_ && !aborted_) {
+      Timer wait;
+      not_full_.wait(lock, [this] {
+        return items_.size() < capacity_ || closed_ || aborted_;
+      });
+      push_wait_seconds_ += wait.seconds();
+    }
+    if (closed_ || aborted_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > peak_size_) peak_size_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns true with an item, false when closed
+  /// and drained or aborted.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty() && !closed_ && !aborted_) {
+      Timer wait;
+      not_empty_.wait(lock,
+                      [this] { return !items_.empty() || closed_ || aborted_; });
+      pop_wait_seconds_ += wait.seconds();
+    }
+    if (aborted_ || items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Seals the producer side: pushes fail from now on, pops drain the
+  /// remaining items and then report end of stream.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Failure teardown: wakes every blocked thread, fails every future
+  /// push/pop, and drops whatever was queued.
+  void abort() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+      items_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool aborted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return aborted_;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Occupancy high-water mark since construction.
+  std::size_t peak_size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_size_;
+  }
+
+  /// Cumulative seconds producers spent blocked on a full queue.
+  double push_wait_seconds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return push_wait_seconds_;
+  }
+
+  /// Cumulative seconds consumers spent blocked on an empty queue.
+  double pop_wait_seconds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pop_wait_seconds_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  bool aborted_ = false;
+  std::size_t peak_size_ = 0;
+  double push_wait_seconds_ = 0.0;
+  double pop_wait_seconds_ = 0.0;
+};
+
+}  // namespace ngs::util

@@ -410,6 +410,78 @@ TEST_F(ChaosTest, OutputWriteFaultAbortsRunFileAtomically) {
   std::remove(in_path.c_str());
 }
 
+TEST_F(ChaosTest, PipelineReaderFaultTearsDownOverlappedRunTyped) {
+  // Fires on the pass-1 read-ahead thread first: the error must cross
+  // the bounded queue back to the calling thread as the original typed
+  // error — and the test completing at all proves nothing hung.
+  reg().configure("core.pipeline.reader=n1");
+  try {
+    run_pipeline(make_fastq(13), nullptr);
+    FAIL() << "expected reader-task failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+    EXPECT_EQ(e.site(), fault::sites::kPipelineReader);
+    EXPECT_EQ(tool_exit_code(e.kind()), 3);
+  }
+  expect_fired(fault::sites::kPipelineReader);
+
+  // A buffered-input method has no pass-1 reader task, so the first
+  // firing lands in pass 2's executor producer instead: same typed
+  // teardown through the full reorder pipeline.
+  reg().reset();
+  reg().configure("core.pipeline.reader=n1");
+  core::PipelineOptions buffered;
+  buffered.batch_size = 256;
+  buffered.threads = 2;
+  core::CorrectionPipeline reptile(core::make_corrector("reptile"),
+                                   buffered);
+  std::ostringstream os;
+  try {
+    reptile.run(factory_for(make_fastq(13)), os);
+    FAIL() << "expected pass-2 reader-task failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.site(), fault::sites::kPipelineReader);
+  }
+  expect_fired(fault::sites::kPipelineReader);
+
+  // With --io-overlap off there is no reader task: the armed site is
+  // simply never reached and the run completes clean.
+  reg().reset();
+  reg().configure("core.pipeline.reader=always");
+  core::PipelineOptions serial;
+  serial.io_overlap = false;
+  std::string out;
+  const auto result = run_pipeline(make_fastq(13), &out, serial);
+  EXPECT_FALSE(result.overlapped);
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(reg().stats(fault::sites::kPipelineReader).fires, 0u);
+}
+
+TEST_F(ChaosTest, PipelineWriterFaultAbortsRunFileAtomically) {
+  const std::string fastq = make_fastq(14);
+  const std::string in_path = temp_path("wfault_in.fastq");
+  const std::string out_path = temp_path("wfault_out.fastq");
+  {
+    std::ofstream os(in_path);
+    os << fastq;
+  }
+  reg().configure("core.pipeline.writer=n1");
+  auto pipeline = make_pipeline();
+  try {
+    pipeline.run_file(in_path, out_path);
+    FAIL() << "expected writer-task failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+    EXPECT_EQ(e.site(), fault::sites::kPipelineWriter);
+  }
+  expect_fired(fault::sites::kPipelineWriter);
+  EXPECT_FALSE(file_exists(out_path))
+      << "failed overlapped run must not leave a truncated output FASTQ";
+  EXPECT_FALSE(file_exists(out_path + ".tmp"))
+      << "failed overlapped run must clean up its temp file";
+  std::remove(in_path.c_str());
+}
+
 TEST_F(ChaosTest, MapTaskFaultIsRetriedFromItsSplit) {
   std::vector<std::pair<int, std::string>> docs;
   for (int i = 0; i < 32; ++i) docs.emplace_back(i, "x");

@@ -103,6 +103,32 @@ expect_exit 3 "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
 grep -q "fault injection:" "$WORK/stderr.txt"
 cmp "$WORK/salvaged.fastq" "$WORK/corrected_sap.fastq"
 
+# Overlapped streaming executor: the default run above is overlapped;
+# --io-overlap off and a different --queue-depth must both produce
+# byte-identical output, and the overlapped run reports its stage
+# telemetry. A bad --io-overlap value is a usage error, and a reader-
+# task fault tears the overlapped pipeline down with the I/O exit code.
+"$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+  --out "$WORK/corrected_serial.fastq" --method sap --genome-length 20000 \
+  --threads 2 --batch-size 1000 --io-overlap off 2>"$WORK/stderr.txt"
+cmp "$WORK/corrected_serial.fastq" "$WORK/corrected_sap.fastq"
+! grep -q "overlap:" "$WORK/stderr.txt"
+"$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+  --out "$WORK/corrected_depth2.fastq" --method sap --genome-length 20000 \
+  --threads 2 --batch-size 1000 --queue-depth 2 2>"$WORK/stderr.txt"
+cmp "$WORK/corrected_depth2.fastq" "$WORK/corrected_sap.fastq"
+grep -q "overlap: queue depth 2" "$WORK/stderr.txt"
+grep -q "worker utilization" "$WORK/stderr.txt"
+expect_exit 2 "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+  --out "$WORK/x.fastq" --method sap --io-overlap sometimes
+expect_exit 2 "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+  --out "$WORK/x.fastq" --method sap --queue-depth 0
+expect_exit 3 "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+  --out "$WORK/x.fastq" --method sap \
+  --fault-spec "core.pipeline.reader=n1"
+grep -q "core.pipeline.reader" "$WORK/stderr.txt"
+test ! -e "$WORK/x.fastq"
+
 # NGS_FAULT_SPEC environment variable is honored too.
 expect_exit 3 env NGS_FAULT_SPEC="io.fastq.open=always" \
   "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \

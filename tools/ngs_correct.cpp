@@ -46,6 +46,15 @@ int main(int argc, char** argv) {
                  "pass-1 spectrum build threads (0 = share correction pool)",
                  true, "0");
   cli.add_option("batch-size", "reads per streamed batch", true, "4096");
+  cli.add_option("io-overlap",
+                 "overlap file I/O with compute: on (dedicated reader + "
+                 "in-order writer around the correction workers) or off "
+                 "(serial stop-and-go loops; output is byte-identical)",
+                 true, "on");
+  cli.add_option("queue-depth",
+                 "bounded read-ahead of the overlapped pipeline, in "
+                 "batches (>= 1)",
+                 true, "4");
   cli.add_option("tile-cache-mb",
                  "shared pass-2 tile-decision cache budget in MiB "
                  "(0 = disable memoization)",
@@ -119,6 +128,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  bool io_overlap = true;
+  const std::string io_overlap_arg = cli.get("io-overlap", "on");
+  if (io_overlap_arg == "off") {
+    io_overlap = false;
+  } else if (io_overlap_arg != "on") {
+    std::cerr << "ngs-correct: --io-overlap must be 'on' or 'off', got '"
+              << io_overlap_arg << "'\n";
+    return 2;
+  }
+  const long queue_depth = cli.get_int("queue-depth", 4);
+  if (queue_depth < 1) {
+    std::cerr << "ngs-correct: --queue-depth must be >= 1, got "
+              << queue_depth << "\n";
+    return 2;
+  }
+
   core::CorrectorConfig config;
   config.genome_length =
       static_cast<std::uint64_t>(cli.get_int("genome-length", 1000000));
@@ -141,6 +166,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("spectrum-threads", 0));
   options.batch_size =
       static_cast<std::size_t>(cli.get_int("batch-size", 4096));
+  options.io_overlap = io_overlap;
+  options.queue_depth = static_cast<std::size_t>(queue_depth);
   options.load_index_path = cli.get("load-index");
   options.save_index_path = cli.get("save-index");
   options.memory_budget_bytes =
@@ -197,6 +224,19 @@ int main(int argc, char** argv) {
                 << " index shards";
     }
     std::cerr << "\n";
+  }
+  if (result.overlapped) {
+    const auto& s2 = result.pass2_overlap;
+    std::cerr << "overlap: queue depth "
+              << result.report.extra("queue_depth") << ", pass 2 "
+              << result.report.extra("pass2_worker_util_pct")
+              << "% worker utilization (reader stall "
+              << result.report.extra("pass2_reader_stall_ms")
+              << " ms, writer stall "
+              << result.report.extra("pass2_writer_stall_ms")
+              << " ms, queue peak " << s2.queue_peak << "/"
+              << result.report.extra("queue_depth") << ", reorder peak "
+              << s2.reorder_peak << ")\n";
   }
   // Degradation report: anything the run survived rather than failed.
   if (result.reads_skipped + result.reads_failed + result.io_retries > 0) {
