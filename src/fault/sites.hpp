@@ -78,6 +78,21 @@ inline constexpr const char* kPipelineWriter = "core.pipeline.writer";
 /// the task is retried from its split up to max_task_attempts).
 inline constexpr const char* kMapTask = "mapreduce.map_task";
 
+// --- service: correction daemon (src/service/) -------------------------
+/// accept() fails; the daemon must keep serving subsequent connections.
+inline constexpr const char* kServiceAccept = "service.accept";
+/// Reading a frame from a connection fails; only that connection winds
+/// down, every other connection keeps streaming.
+inline constexpr const char* kServiceRead = "service.read";
+/// Writing a reply frame fails; same blast-radius guarantee as read.
+inline constexpr const char* kServiceWrite = "service.write";
+/// Verifying replacement indexes during a hot reload fails; the reload
+/// is rejected and the old epoch keeps serving untouched.
+inline constexpr const char* kServiceReload = "service.reload";
+/// A worker's batch correction throws; the batch gets a typed ERROR
+/// reply and the connection (and its other in-flight batches) survive.
+inline constexpr const char* kServiceWorker = "service.worker";
+
 /// Every registered site, in catalog order. The chaos sweep iterates
 /// this list; Registry::configure validates against it.
 inline constexpr const char* kAll[] = {
@@ -87,6 +102,8 @@ inline constexpr const char* kAll[] = {
     kOpenInputTransient, kPass2Batch, kPass2Read,  kOutputWrite,
     kPipelineReader, kPipelineWriter,
     kMapTask,
+    kServiceAccept,  kServiceRead, kServiceWrite, kServiceReload,
+    kServiceWorker,
 };
 
 inline constexpr std::size_t kCount = sizeof(kAll) / sizeof(kAll[0]);

@@ -1,0 +1,127 @@
+#pragma once
+// Client side of the correction service: a blocking connection plus the
+// windowed streaming pump used by `ngs-correct-client` and the service
+// bench.
+//
+// The low-level Client exposes the protocol verbs one frame at a time
+// (connect / hello / send_request / read_reply / stats / reload) for
+// tests that need to poke the wire directly. correct_stream() layers
+// the production flow on top:
+//
+//   - keeps up to `window` REQ batches in flight (clamped to the
+//     server's negotiated max_inflight),
+//   - resends a BUSY-shed batch under a fresh sequence number after a
+//     growing backoff (server-side seqs must stay contiguous),
+//   - reorders replies by the batch's position in the input, so
+//     corrected reads are delivered to the sink in exactly input order
+//     even though shed batches complete late.
+//
+// No deadlock by construction: the client never has more than the
+// negotiated window outstanding, and the server's per-connection reader
+// consumes up to that window independently of its writer, so a
+// send_request can always complete before the client turns around to
+// read replies.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "seq/read.hpp"
+#include "service/framing.hpp"
+#include "service/protocol.hpp"
+
+namespace ngs::service {
+
+/// Blocking protocol connection over an AF_UNIX stream socket.
+class Client {
+ public:
+  explicit Client(std::string socket_path,
+                  std::uint64_t max_frame_bytes = kDefaultMaxFrameBytes);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Movable: the connection handle transfers, the source disconnects.
+  Client(Client&& other) noexcept
+      : socket_path_(std::move(other.socket_path_)),
+        max_frame_bytes_(other.max_frame_bytes_),
+        fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      close();
+      socket_path_ = std::move(other.socket_path_);
+      max_frame_bytes_ = other.max_frame_bytes_;
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to the daemon. Throws ngs::Error(kIo) when the socket is
+  /// missing or refuses (daemon not running).
+  void connect();
+
+  /// Negotiates the session. Throws the server's typed error on
+  /// rejection (unknown method, missing index k, version mismatch).
+  HelloOk hello(const HelloRequest& request);
+
+  /// Low-level verbs for tests and the streaming pump.
+  void send_request(const ReadBatch& batch);
+  void send_frame(FrameType type, const std::vector<std::uint8_t>& payload);
+  /// Next reply frame. Throws ngs::Error(kIo) on EOF (server gone).
+  Frame read_reply();
+
+  /// STATS round trip: the server's "key=value\n" counter dump.
+  std::string stats();
+
+  /// RELOAD round trip: returns the new epoch id, throws the server's
+  /// typed error when verification of the replacement indexes failed.
+  std::uint64_t reload();
+
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  std::string socket_path_;
+  std::uint64_t max_frame_bytes_;
+  int fd_ = -1;
+};
+
+/// Raises the payload of an ERROR frame as the typed ngs::Error it was
+/// on the server (kind round-trips through the wire code).
+[[noreturn]] void throw_error_reply(const ErrorReply& error);
+
+struct StreamOptions {
+  /// Reads per REQ batch.
+  std::size_t batch_size = 1024;
+  /// REQ batches kept in flight (clamped to the server's max_inflight).
+  std::size_t window = 4;
+  /// BUSY resends tolerated per batch before giving up (kTask).
+  std::size_t busy_retry_limit = 64;
+  /// First BUSY backoff in milliseconds; doubles per consecutive retry
+  /// of the same batch, capped at 100ms.
+  std::size_t busy_backoff_ms = 2;
+};
+
+struct StreamResult {
+  std::uint64_t reads = 0;
+  std::uint64_t reads_changed = 0;
+  std::uint64_t bases_changed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t busy_retries = 0;
+};
+
+/// Pumps batches through a connected, HELLO'd client. `next_batch`
+/// fills its argument with the next input batch (empty vector = end of
+/// input); `on_corrected` receives corrected batches in input order.
+/// Throws the server's typed error if any batch fails.
+StreamResult correct_stream(
+    Client& client, const HelloOk& limits, const StreamOptions& options,
+    const std::function<bool(std::vector<seq::Read>&)>& next_batch,
+    const std::function<void(std::vector<seq::Read>&&)>& on_corrected);
+
+}  // namespace ngs::service

@@ -1,0 +1,141 @@
+#include "service/framing.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "fault/sites.hpp"
+
+namespace ngs::service {
+
+namespace {
+
+/// Reads exactly `n` bytes. Returns bytes actually read (< n only on
+/// EOF); throws ngs::Error(kIo) on a read error.
+std::size_t read_full(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) break;  // EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw ngs::Error(ngs::ErrorKind::kIo, fault::sites::kServiceRead,
+                       std::string("service: socket read failed: ") +
+                           std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+void write_full(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as
+    // EPIPE on this connection, not SIGPIPE for the whole process.
+    const ssize_t w = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw ngs::Error(ngs::ErrorKind::kIo, fault::sites::kServiceWrite,
+                       std::string("service: socket write failed: ") +
+                           std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+bool FrameChannel::read_frame(Frame& out) {
+  fault::maybe_fail(fault::sites::kServiceRead, ngs::ErrorKind::kIo,
+                    "service: reading frame");
+  std::uint8_t header[kFrameHeaderBytes];
+  const std::size_t got = read_full(fd_, header, sizeof(header));
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof(header)) {
+    throw ngs::Error(ngs::ErrorKind::kIo, fault::sites::kServiceRead,
+                     "service: connection closed mid-frame (" +
+                         std::to_string(got) + " of " +
+                         std::to_string(sizeof(header)) + " header bytes)");
+  }
+  if (get_u32(header) != kFrameMagic) {
+    throw ProtocolError("frame header magic mismatch (got 0x" +
+                        [&] {
+                          char buf[16];
+                          std::snprintf(buf, sizeof(buf), "%08x",
+                                        get_u32(header));
+                          return std::string(buf);
+                        }() +
+                        ", want 0x4353474e) — not a service stream");
+  }
+  const std::uint8_t type = header[4];
+  if (!frame_type_known(type)) {
+    throw ProtocolError("unknown frame type " + std::to_string(type));
+  }
+  if (header[5] != 0 || header[6] != 0 || header[7] != 0) {
+    throw ProtocolError("nonzero reserved bytes in frame header");
+  }
+  const std::uint64_t payload_len = get_u64(header + 8);
+  if (payload_len > max_frame_bytes_) {
+    throw ProtocolError("frame payload length " +
+                        std::to_string(payload_len) + " exceeds the " +
+                        std::to_string(max_frame_bytes_) + "-byte cap");
+  }
+  out.type = static_cast<FrameType>(type);
+  out.payload.resize(static_cast<std::size_t>(payload_len));
+  if (payload_len > 0) {
+    const std::size_t body =
+        read_full(fd_, out.payload.data(), out.payload.size());
+    if (body < out.payload.size()) {
+      throw ngs::Error(ngs::ErrorKind::kIo, fault::sites::kServiceRead,
+                       "service: connection closed mid-frame (" +
+                           std::to_string(body) + " of " +
+                           std::to_string(out.payload.size()) +
+                           " payload bytes)");
+    }
+  }
+  return true;
+}
+
+void FrameChannel::write_frame(FrameType type,
+                               const std::vector<std::uint8_t>& payload) {
+  fault::maybe_fail(fault::sites::kServiceWrite, ngs::ErrorKind::kIo,
+                    "service: writing frame");
+  if (payload.size() > max_frame_bytes_) {
+    throw ProtocolError("refusing to write a frame larger than the " +
+                        std::to_string(max_frame_bytes_) + "-byte cap");
+  }
+  std::uint8_t header[kFrameHeaderBytes] = {};
+  put_u32(header, kFrameMagic);
+  header[4] = static_cast<std::uint8_t>(type);
+  put_u64(header + 8, payload.size());
+  write_full(fd_, header, sizeof(header));
+  if (!payload.empty()) write_full(fd_, payload.data(), payload.size());
+}
+
+}  // namespace ngs::service

@@ -1,0 +1,71 @@
+#pragma once
+// Length-prefixed frame transport for the correction service. One frame
+// on the wire is:
+//
+//   offset  bytes  field
+//   0       4      magic 0x4353474E ("NGSC" as little-endian bytes)
+//   4       1      type (service::FrameType)
+//   5       3      reserved, must be zero
+//   8       8      payload length in bytes (little-endian)
+//   16      n      payload (protocol.hpp encoding for the type)
+//
+// The reader is defensive by construction: the magic is checked before
+// anything else, the length is checked against the negotiated cap
+// before any allocation, unknown types and nonzero reserved bytes are
+// rejected, and exactly `length` payload bytes are consumed — a
+// malformed or truncated frame raises a typed ProtocolError and never
+// desynchronizes past the frame boundary. Stream-level failures (EOF
+// mid-frame, read()/write() errors, the service.read/service.write
+// fault sites) raise ngs::Error(kIo).
+
+#include <cstdint>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace ngs::service {
+
+/// Default (and maximum negotiable) payload size. Large enough for a
+/// 4096-read batch of long reads, small enough that a garbage length
+/// prefix cannot drive an allocation bomb.
+inline constexpr std::uint64_t kDefaultMaxFrameBytes = 64ull << 20;
+
+/// Frame header magic: the bytes "NGSC" on the wire.
+inline constexpr std::uint32_t kFrameMagic = 0x4353474E;
+
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// One decoded frame: type plus owned payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Blocking frame I/O over a stream-socket file descriptor. Not
+/// thread-safe; the server serializes writers per connection and gives
+/// each connection a single reader.
+class FrameChannel {
+ public:
+  /// Does not own `fd`; the connection owner closes it.
+  explicit FrameChannel(int fd,
+                        std::uint64_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+
+  int fd() const noexcept { return fd_; }
+  std::uint64_t max_frame_bytes() const noexcept { return max_frame_bytes_; }
+
+  /// Reads the next frame. Returns false on clean EOF at a frame
+  /// boundary. Throws ProtocolError (kParse) on a malformed frame and
+  /// ngs::Error(kIo) on stream failure or EOF mid-frame.
+  bool read_frame(Frame& out);
+
+  /// Writes one frame (header + payload), handling partial writes.
+  /// Throws ngs::Error(kIo) on failure.
+  void write_frame(FrameType type, const std::vector<std::uint8_t>& payload);
+
+ private:
+  int fd_;
+  std::uint64_t max_frame_bytes_;
+};
+
+}  // namespace ngs::service

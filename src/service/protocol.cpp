@@ -1,0 +1,342 @@
+#include "service/protocol.hpp"
+
+#include <cstring>
+#include <limits>
+
+namespace ngs::service {
+
+namespace {
+
+// Hard per-field sanity bounds, below the transport's frame-size cap:
+// a decoder must reject absurd counts before reserving memory for them.
+constexpr std::size_t kMaxMethodLen = 256;
+constexpr std::size_t kMaxBatchReads = 1 << 22;      // 4M reads per frame
+constexpr std::size_t kMaxReadLen = 1 << 28;         // 256 MiB per field
+constexpr std::size_t kMaxMessageLen = 1 << 16;
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { le(v); }
+  void u32(std::uint32_t v) { le(v); }
+  void u64(std::uint64_t v) { le(v); }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+
+ private:
+  template <typename T>
+  void le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t>& out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size, const char* what)
+      : data_(data), size_(size), what_(what) {}
+
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint16_t u16() { return take<std::uint16_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string str(std::size_t n, const char* field) {
+    need(n, field);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  void raw(void* out, std::size_t n, const char* field) {
+    need(n, field);
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  /// Every decoder ends with this: payload bytes past the last field
+  /// are a framing bug, not padding.
+  void finish() {
+    if (pos_ != size_) {
+      throw ProtocolError(std::string(what_) + ": " +
+                          std::to_string(size_ - pos_) +
+                          " trailing bytes after the last field");
+    }
+  }
+
+ private:
+  template <typename T>
+  T take() {
+    need(sizeof(T), "integer field");
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void need(std::size_t n, const char* field) {
+    if (size_ - pos_ < n) {
+      throw ProtocolError(std::string(what_) + ": truncated payload (need " +
+                          std::to_string(n) + " more bytes for " + field +
+                          ", have " + std::to_string(size_ - pos_) + ")");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  const char* what_;
+};
+
+void encode_read(ByteWriter& w, const seq::Read& read) {
+  if (read.id.size() > kMaxReadLen || read.bases.size() > kMaxReadLen) {
+    throw ProtocolError("read record exceeds the per-field wire limit");
+  }
+  w.u32(static_cast<std::uint32_t>(read.id.size()));
+  w.u32(static_cast<std::uint32_t>(read.bases.size()));
+  w.u8(read.quality.empty() ? 0 : 1);
+  w.bytes(read.id.data(), read.id.size());
+  w.bytes(read.bases.data(), read.bases.size());
+  if (!read.quality.empty()) {
+    if (read.quality.size() != read.bases.size()) {
+      throw ProtocolError("read quality length differs from bases length");
+    }
+    w.bytes(read.quality.data(), read.quality.size());
+  }
+}
+
+seq::Read decode_read(ByteReader& r) {
+  const std::uint32_t id_len = r.u32();
+  const std::uint32_t bases_len = r.u32();
+  const std::uint8_t has_qual = r.u8();
+  if (id_len > kMaxReadLen || bases_len > kMaxReadLen) {
+    throw ProtocolError("read record field length " +
+                        std::to_string(std::max(id_len, bases_len)) +
+                        " exceeds the wire limit");
+  }
+  if (has_qual > 1) {
+    throw ProtocolError("read record has_quality flag must be 0 or 1, got " +
+                        std::to_string(has_qual));
+  }
+  seq::Read read;
+  read.id = r.str(id_len, "read id");
+  read.bases = r.str(bases_len, "read bases");
+  if (has_qual != 0) {
+    read.quality.resize(bases_len);
+    r.raw(read.quality.data(), bases_len, "read quality");
+  }
+  return read;
+}
+
+void encode_batch_common(ByteWriter& w, std::uint64_t seq,
+                         const std::vector<seq::Read>& reads) {
+  if (reads.size() > kMaxBatchReads) {
+    throw ProtocolError("batch of " + std::to_string(reads.size()) +
+                        " reads exceeds the wire limit");
+  }
+  w.u64(seq);
+  w.u32(static_cast<std::uint32_t>(reads.size()));
+  for (const auto& read : reads) encode_read(w, read);
+}
+
+std::vector<seq::Read> decode_reads(ByteReader& r, std::uint32_t count) {
+  if (count > kMaxBatchReads) {
+    throw ProtocolError("batch read count " + std::to_string(count) +
+                        " exceeds the wire limit");
+  }
+  std::vector<seq::Read> reads;
+  reads.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) reads.push_back(decode_read(r));
+  return reads;
+}
+
+}  // namespace
+
+bool frame_type_known(std::uint8_t t) noexcept {
+  return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint8_t>(FrameType::kBusy);
+}
+
+std::uint16_t wire_error_code(ngs::ErrorKind kind) noexcept {
+  switch (kind) {
+    case ngs::ErrorKind::kConfig: return 1;
+    case ngs::ErrorKind::kIo: return 2;
+    case ngs::ErrorKind::kParse: return 3;
+    case ngs::ErrorKind::kIndex: return 4;
+    case ngs::ErrorKind::kTask: return 5;
+    case ngs::ErrorKind::kInternal: return 6;
+  }
+  return 6;
+}
+
+ngs::ErrorKind error_kind_from_wire(std::uint16_t code) noexcept {
+  switch (code) {
+    case 1: return ngs::ErrorKind::kConfig;
+    case 2: return ngs::ErrorKind::kIo;
+    case 3: return ngs::ErrorKind::kParse;
+    case 4: return ngs::ErrorKind::kIndex;
+    case 5: return ngs::ErrorKind::kTask;
+    default: return ngs::ErrorKind::kInternal;
+  }
+}
+
+void encode_hello(const HelloRequest& hello, std::vector<std::uint8_t>& out) {
+  if (hello.method.size() > kMaxMethodLen) {
+    throw ProtocolError("method name exceeds the wire limit");
+  }
+  ByteWriter w(out);
+  w.u32(hello.protocol_version);
+  w.u16(static_cast<std::uint16_t>(hello.method.size()));
+  w.bytes(hello.method.data(), hello.method.size());
+  w.u32(static_cast<std::uint32_t>(hello.k));
+  w.u64(hello.genome_length);
+  w.f64(hello.error_rate);
+}
+
+HelloRequest decode_hello(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size, "HELLO");
+  HelloRequest hello;
+  hello.protocol_version = r.u32();
+  const std::uint16_t method_len = r.u16();
+  if (method_len > kMaxMethodLen) {
+    throw ProtocolError("HELLO: method name length " +
+                        std::to_string(method_len) +
+                        " exceeds the wire limit");
+  }
+  hello.method = r.str(method_len, "method name");
+  hello.k = static_cast<std::int32_t>(r.u32());
+  hello.genome_length = r.u64();
+  hello.error_rate = r.f64();
+  r.finish();
+  return hello;
+}
+
+void encode_hello_ok(const HelloOk& ok, std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  w.u32(ok.protocol_version);
+  w.u32(static_cast<std::uint32_t>(ok.resolved_k));
+  w.u64(ok.epoch_id);
+  w.u32(ok.max_inflight);
+  w.u32(ok.max_batch_reads);
+  w.u64(ok.max_frame_bytes);
+}
+
+HelloOk decode_hello_ok(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size, "HELLO_OK");
+  HelloOk ok;
+  ok.protocol_version = r.u32();
+  ok.resolved_k = static_cast<std::int32_t>(r.u32());
+  ok.epoch_id = r.u64();
+  ok.max_inflight = r.u32();
+  ok.max_batch_reads = r.u32();
+  ok.max_frame_bytes = r.u64();
+  r.finish();
+  return ok;
+}
+
+void encode_request(const ReadBatch& batch, std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  encode_batch_common(w, batch.seq, batch.reads);
+}
+
+ReadBatch decode_request(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size, "REQ");
+  ReadBatch batch;
+  batch.seq = r.u64();
+  batch.reads = decode_reads(r, r.u32());
+  r.finish();
+  return batch;
+}
+
+void encode_response(const ResponseBatch& batch,
+                     std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  w.u64(batch.reads_changed);
+  w.u64(batch.bases_changed);
+  encode_batch_common(w, batch.seq, batch.reads);
+}
+
+ResponseBatch decode_response(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size, "RESP");
+  ResponseBatch batch;
+  batch.reads_changed = r.u64();
+  batch.bases_changed = r.u64();
+  batch.seq = r.u64();
+  batch.reads = decode_reads(r, r.u32());
+  r.finish();
+  return batch;
+}
+
+void encode_error(const ErrorReply& error, std::vector<std::uint8_t>& out) {
+  if (error.message.size() > kMaxMessageLen) {
+    ErrorReply clipped = error;
+    clipped.message.resize(kMaxMessageLen);
+    encode_error(clipped, out);
+    return;
+  }
+  ByteWriter w(out);
+  w.u64(error.seq);
+  w.u16(error.code);
+  w.u16(static_cast<std::uint16_t>(error.message.size()));
+  w.bytes(error.message.data(), error.message.size());
+}
+
+ErrorReply decode_error(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size, "ERROR");
+  ErrorReply error;
+  error.seq = r.u64();
+  error.code = r.u16();
+  const std::uint16_t len = r.u16();
+  error.message = r.str(len, "error message");
+  r.finish();
+  return error;
+}
+
+void encode_busy(const BusyReply& busy, std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  w.u64(busy.seq);
+}
+
+BusyReply decode_busy(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size, "BUSY");
+  BusyReply busy;
+  busy.seq = r.u64();
+  r.finish();
+  return busy;
+}
+
+void encode_reload_ok(const ReloadOk& ok, std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  w.u64(ok.epoch_id);
+}
+
+ReloadOk decode_reload_ok(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size, "RELOAD_OK");
+  ReloadOk ok;
+  ok.epoch_id = r.u64();
+  r.finish();
+  return ok;
+}
+
+}  // namespace ngs::service

@@ -1,0 +1,166 @@
+#pragma once
+// ngs::service wire protocol — the byte contract between `ngs-correctd`
+// and its clients. The transport is a local stream socket carrying
+// length-prefixed binary frames (see framing.hpp); this header defines
+// what goes inside them.
+//
+// Conversation shape (one connection):
+//
+//   client                         server
+//   ------                        -------
+//   HELLO  {method,k,config}  ->
+//                             <-  HELLO_OK {k,epoch,limits}   (or ERROR)
+//   REQ    {seq=0, reads}     ->
+//   REQ    {seq=1, reads}     ->                  (window <= max_inflight)
+//                             <-  RESP {seq=0, corrected}     (in order)
+//                             <-  BUSY {seq=1}                (shed load)
+//   REQ    {seq=2, same reads}->                  (client retries)
+//                             <-  RESP {seq=2, corrected}
+//   STATS  {}                 ->
+//                             <-  STATS_OK {key=value lines}
+//   RELOAD {}                 ->
+//                             <-  RELOAD_OK {epoch}           (or ERROR)
+//
+// Invariants:
+//   - Request sequence numbers are assigned by the client and must be
+//     exactly 0,1,2,... per connection; every REQ gets exactly one
+//     reply (RESP, BUSY, or ERROR-with-seq), and replies are delivered
+//     in sequence order — a shed or failed batch never reorders the
+//     stream.
+//   - All integers are little-endian, like the on-disk index format.
+//   - Every payload decoder is bounds-checked: a malformed frame raises
+//     a typed ProtocolError (ngs::Error, kind kParse) and never reads
+//     past the frame.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/read.hpp"
+#include "util/error.hpp"
+
+namespace ngs::service {
+
+/// Protocol revision negotiated in HELLO. Bumped on any wire change.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frame types (the `type` byte of the frame header).
+enum class FrameType : std::uint8_t {
+  kHello = 1,     // client -> server: negotiate method/k/config
+  kHelloOk = 2,   // server -> client: accepted, limits follow
+  kRequest = 3,   // client -> server: one batch of reads
+  kResponse = 4,  // server -> client: the corrected batch, in order
+  kStats = 5,     // client -> server: counters snapshot request
+  kStatsOk = 6,   // server -> client: "key=value\n" lines
+  kReload = 7,    // client -> server: verify + swap indexes now
+  kReloadOk = 8,  // server -> client: reload done, new epoch id
+  kError = 9,     // server -> client: typed failure (seq=0: connection)
+  kBusy = 10,     // server -> client: batch shed by admission control
+};
+
+/// True when `t` is a frame type this protocol revision defines.
+bool frame_type_known(std::uint8_t t) noexcept;
+
+/// Malformed payload (or frame): truncated field, trailing garbage,
+/// out-of-range value. kind kParse -> tools exit 3 through the shared
+/// taxonomy.
+class ProtocolError : public ngs::Error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : ngs::Error(ngs::ErrorKind::kParse, "service.protocol", what) {}
+};
+
+/// ngs::ErrorKind <-> on-wire error code (ERROR frame). Codes are
+/// stable wire contract; keep in sync with error_kind_name.
+std::uint16_t wire_error_code(ngs::ErrorKind kind) noexcept;
+ngs::ErrorKind error_kind_from_wire(std::uint16_t code) noexcept;
+
+// --- payload structs ---------------------------------------------------
+
+/// HELLO: what the client wants corrected and how the corrector must be
+/// configured. The fields mirror ngs-correct's corrector flags so a
+/// served run can be byte-identical to an offline run.
+struct HelloRequest {
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::string method;               // registry name ("sap", "reptile", ...)
+  std::int32_t k = 0;               // 0 = derive from genome_length
+  std::uint64_t genome_length = 1'000'000;
+  double error_rate = 0.01;
+};
+
+/// HELLO_OK: the server's resolved parameters and per-connection limits.
+struct HelloOk {
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::int32_t resolved_k = 0;      // spectrum k serving this method (0 = buffered)
+  std::uint64_t epoch_id = 0;       // index epoch the HELLO resolved against
+  std::uint32_t max_inflight = 0;   // per-connection REQ window
+  std::uint32_t max_batch_reads = 0;
+  std::uint64_t max_frame_bytes = 0;
+};
+
+/// REQ / RESP: a batch of reads with a client-assigned sequence number.
+struct ReadBatch {
+  std::uint64_t seq = 0;
+  std::vector<seq::Read> reads;
+};
+
+/// RESP carries the corrected reads plus the batch's own tallies.
+struct ResponseBatch {
+  std::uint64_t seq = 0;
+  std::uint64_t reads_changed = 0;
+  std::uint64_t bases_changed = 0;
+  std::vector<seq::Read> reads;
+};
+
+/// ERROR: typed failure. seq != kConnectionSeq scopes it to one REQ
+/// (the connection survives); kConnectionSeq means the connection is
+/// being torn down.
+struct ErrorReply {
+  static constexpr std::uint64_t kConnectionSeq =
+      ~static_cast<std::uint64_t>(0);
+  std::uint64_t seq = kConnectionSeq;
+  std::uint16_t code = 0;  // wire_error_code(kind)
+  std::string message;
+
+  ngs::ErrorKind kind() const noexcept { return error_kind_from_wire(code); }
+};
+
+/// BUSY: the REQ with this seq was shed by admission control; retry
+/// later (the payload of the batch was discarded server-side).
+struct BusyReply {
+  std::uint64_t seq = 0;
+};
+
+/// RELOAD_OK: the epoch now serving new requests.
+struct ReloadOk {
+  std::uint64_t epoch_id = 0;
+};
+
+// --- encode / decode ---------------------------------------------------
+// Encoders append to `out` (frame payload bytes only — the frame header
+// is the transport's job). Decoders parse exactly the given payload and
+// throw ProtocolError on truncation, trailing bytes, or invalid values.
+
+void encode_hello(const HelloRequest& hello, std::vector<std::uint8_t>& out);
+HelloRequest decode_hello(const std::uint8_t* data, std::size_t size);
+
+void encode_hello_ok(const HelloOk& ok, std::vector<std::uint8_t>& out);
+HelloOk decode_hello_ok(const std::uint8_t* data, std::size_t size);
+
+void encode_request(const ReadBatch& batch, std::vector<std::uint8_t>& out);
+ReadBatch decode_request(const std::uint8_t* data, std::size_t size);
+
+void encode_response(const ResponseBatch& batch,
+                     std::vector<std::uint8_t>& out);
+ResponseBatch decode_response(const std::uint8_t* data, std::size_t size);
+
+void encode_error(const ErrorReply& error, std::vector<std::uint8_t>& out);
+ErrorReply decode_error(const std::uint8_t* data, std::size_t size);
+
+void encode_busy(const BusyReply& busy, std::vector<std::uint8_t>& out);
+BusyReply decode_busy(const std::uint8_t* data, std::size_t size);
+
+void encode_reload_ok(const ReloadOk& ok, std::vector<std::uint8_t>& out);
+ReloadOk decode_reload_ok(const std::uint8_t* data, std::size_t size);
+
+}  // namespace ngs::service

@@ -60,6 +60,20 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push — the admission-control primitive: returns false
+  /// immediately (item dropped, no wait) when the queue is full, closed,
+  /// or aborted, so a caller can shed load instead of queueing
+  /// unboundedly. Same success semantics as push().
+  bool try_push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.size() >= capacity_ || closed_ || aborted_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > peak_size_) peak_size_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks while empty. Returns true with an item, false when closed
   /// and drained or aborted.
   bool pop(T& out) {

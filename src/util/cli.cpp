@@ -40,8 +40,14 @@ bool CliParser::parse(int argc, const char* const* argv) {
       return false;
     }
     values_[name] = argv[++i];
+    all_values_[name].push_back(values_[name]);
   }
   return true;
+}
+
+std::vector<std::string> CliParser::get_all(const std::string& name) const {
+  const auto it = all_values_.find(name);
+  return it == all_values_.end() ? std::vector<std::string>{} : it->second;
 }
 
 bool CliParser::has(const std::string& name) const {

@@ -32,6 +32,9 @@ class CliParser {
   bool has(const std::string& name) const;
   std::string get(const std::string& name,
                   const std::string& fallback = "") const;
+  /// Every occurrence of a repeatable option, in command-line order
+  /// (get() keeps returning the last one). Empty if never passed.
+  std::vector<std::string> get_all(const std::string& name) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
 
@@ -53,6 +56,7 @@ class CliParser {
   std::string description_;
   std::map<std::string, Option> options_;  // ordered for usage output
   std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> all_values_;
   std::vector<std::string> positional_;
   std::string error_;
   bool help_ = false;

@@ -27,6 +27,8 @@
 #include "io/fastx.hpp"
 #include "kspec/kspectrum.hpp"
 #include "mapreduce/job.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "sim/genome.hpp"
 #include "sim/read_sim.hpp"
 #include "util/error.hpp"
@@ -526,6 +528,46 @@ TEST_F(ChaosTest, MapTaskFaultIsRetriedFromItsSplit) {
 // production path. Forgetting to add a scenario for a new site fails
 // here, not silently.
 
+/// One short daemon conversation that reaches every service.* site:
+/// accept (acceptor poll loop), frame read/write (client and server
+/// FrameChannels share the process-global registry — either side
+/// firing counts), a corrected batch on a worker, and an epoch
+/// rebuild. The armed fault may surface anywhere in the conversation
+/// as a typed error; the sweep only asserts coverage. service.reload
+/// also guards the initial epoch build, so even start() may throw.
+void run_service_scenario(const std::string& index_path) {
+  service::ServiceOptions options;
+  options.socket_path = testing::TempDir() + "ngs_chaos_" +
+                        std::to_string(::getpid()) + "_svc.sock";
+  options.workers = 1;
+  service::IndexRegistryConfig registry;
+  registry.index_paths.push_back(index_path);
+  service::CorrectionServer server(options, registry);
+  try {
+    server.start();
+    try {
+      service::Client client(options.socket_path);
+      client.connect();
+      service::HelloRequest hello;
+      hello.method = "sap";
+      hello.k = 12;  // the sweep index's k
+      hello.genome_length = 5000;
+      (void)client.hello(hello);
+      service::ReadBatch batch;
+      batch.reads.push_back({"r", std::string(36, 'A'), {}});
+      client.send_request(batch);
+      (void)client.read_reply();
+    } catch (const Error&) {
+    }
+    try {
+      (void)server.reload();
+    } catch (const Error&) {
+    }
+  } catch (const Error&) {
+  }
+  server.stop();
+}
+
 TEST_F(ChaosTest, EverySiteInCatalogFires) {
   const std::string fastq = make_fastq(9);
   const std::string index_path = write_test_index("sweep");
@@ -568,6 +610,8 @@ TEST_F(ChaosTest, EverySiteInCatalogFires) {
         // pass-1 build.
         auto pipeline = make_pipeline(budget_options());
         (void)pipeline.run_file(in_path, out_path);
+      } else if (name.rfind("service.", 0) == 0) {
+        run_service_scenario(index_path);
       } else if (name == fault::sites::kMapTask) {
         using CountJob = mapreduce::Job<int, std::string, std::string, int,
                                         std::string, int>;

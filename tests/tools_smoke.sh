@@ -7,6 +7,10 @@
 set -euo pipefail
 
 BIN_DIR="$1"
+# Second argument `service` runs only the correction-service scenario
+# (the ctest `service` label, so the asan preset can drive the daemon
+# paths without the full smoke).
+MODE="${2:-all}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -33,6 +37,105 @@ expect_exit() {
 test -s "$WORK/reads.fastq"
 test -s "$WORK/genome.fasta"
 test -s "$WORK/truth.tsv"
+
+# --- correction service: daemon + client round trips -------------------
+# Byte-identity through the daemon for a streaming (sap) and a buffered
+# (reptile) method at 1, 2, and 4 worker threads; SIGHUP hot reload and
+# the RELOAD verb bump the epoch without dropping the daemon; clean
+# SIGTERM shutdown exits 0; daemon and client failure paths carry the
+# documented exit codes. Requires $WORK/corrected_sap.fastq,
+# $WORK/corrected_reptile.fastq, and $WORK/sap.ngsx.
+service_scenario() {
+  local sock="$WORK/ngs.sock"
+
+  for t in 1 2 4; do
+    "$BIN_DIR/ngs_correctd" --socket "$sock" --index "$WORK/sap.ngsx" \
+      --reads "$WORK/reads.fastq" --threads "$t" \
+      > "$WORK/daemon.log" 2>&1 &
+    local daemon=$!
+    # Readiness: the daemon prints its listening line once serving.
+    for _ in $(seq 1 100); do
+      grep -q "listening on" "$WORK/daemon.log" 2>/dev/null && break
+      sleep 0.1
+    done
+    grep -q "listening on" "$WORK/daemon.log"
+
+    # Served output is byte-identical to the offline runs.
+    "$BIN_DIR/ngs_correct_client" --socket "$sock" \
+      --in "$WORK/reads.fastq" --out "$WORK/svc_sap_$t.fastq" \
+      --method sap --genome-length 20000 2>/dev/null
+    cmp "$WORK/svc_sap_$t.fastq" "$WORK/corrected_sap.fastq"
+    "$BIN_DIR/ngs_correct_client" --socket "$sock" \
+      --in "$WORK/reads.fastq" --out "$WORK/svc_reptile_$t.fastq" \
+      --method reptile --genome-length 20000 2>/dev/null
+    cmp "$WORK/svc_reptile_$t.fastq" "$WORK/corrected_reptile.fastq"
+
+    if [ "$t" = 2 ]; then
+      "$BIN_DIR/ngs_correct_client" --socket "$sock" --mode stats \
+        > "$WORK/svc_stats.txt"
+      grep -q "^epoch=1$" "$WORK/svc_stats.txt"
+      grep -q "^reads_corrected=" "$WORK/svc_stats.txt"
+
+      # SIGHUP re-verifies and hot-swaps the indexes: epoch 1 -> 2.
+      kill -HUP "$daemon"
+      for _ in $(seq 1 100); do
+        "$BIN_DIR/ngs_correct_client" --socket "$sock" --mode stats \
+          > "$WORK/svc_stats.txt" 2>/dev/null || true
+        grep -q "^epoch=2$" "$WORK/svc_stats.txt" && break
+        sleep 0.1
+      done
+      grep -q "^epoch=2$" "$WORK/svc_stats.txt"
+      # The RELOAD verb does the same inline: epoch 2 -> 3.
+      "$BIN_DIR/ngs_correct_client" --socket "$sock" --mode reload \
+        | grep -q "epoch 3"
+      # Corrected bytes are unchanged across reloads (same index files).
+      "$BIN_DIR/ngs_correct_client" --socket "$sock" \
+        --in "$WORK/reads.fastq" --out "$WORK/svc_reload.fastq" \
+        --method sap --genome-length 20000 2>/dev/null
+      cmp "$WORK/svc_reload.fastq" "$WORK/corrected_sap.fastq"
+
+      # Client failure paths: missing --socket -> 2, bad --mode -> 2,
+      # daemon not running -> 3, method the daemon rejects -> 2.
+      expect_exit 2 "$BIN_DIR/ngs_correct_client" --mode stats
+      expect_exit 2 "$BIN_DIR/ngs_correct_client" --socket "$sock" \
+        --mode sideways
+      expect_exit 3 "$BIN_DIR/ngs_correct_client" \
+        --socket "$WORK/no-such.sock" --mode stats
+      grep -q "running" "$WORK/stderr.txt"
+      expect_exit 2 "$BIN_DIR/ngs_correct_client" --socket "$sock" \
+        --in "$WORK/reads.fastq" --out "$WORK/x.fastq" --method bogus
+    fi
+
+    # Clean shutdown on SIGTERM: exit 0, socket file removed.
+    kill -TERM "$daemon"
+    local code=0
+    wait "$daemon" || code=$?
+    [ "$code" = 0 ]
+    test ! -e "$sock"
+  done
+
+  # Daemon startup failures: missing index file -> 4, a declared k that
+  # contradicts the file header -> 2, nothing to serve -> 2.
+  expect_exit 4 "$BIN_DIR/ngs_correctd" --socket "$sock" \
+    --index "$WORK/nonexistent.ngsx"
+  expect_exit 2 "$BIN_DIR/ngs_correctd" --socket "$sock" \
+    --index "9=$WORK/sap.ngsx"
+  expect_exit 2 "$BIN_DIR/ngs_correctd" --socket "$sock"
+}
+
+if [ "$MODE" = "service" ]; then
+  # Standalone service run: produce just the offline references and the
+  # spectrum index the daemon serves, then drive the scenario.
+  "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+    --out "$WORK/corrected_sap.fastq" --method sap --genome-length 20000 \
+    --threads 2 --batch-size 1000 --save-index "$WORK/sap.ngsx"
+  "$BIN_DIR/ngs_correct" --in "$WORK/reads.fastq" \
+    --out "$WORK/corrected_reptile.fastq" --method reptile \
+    --genome-length 20000 --threads 2 --batch-size 1000
+  service_scenario
+  echo "service smoke test passed"
+  exit 0
+fi
 
 # Round-trip every method the registry advertises.
 methods=$("$BIN_DIR/ngs_correct" --method list | awk '{print $1}')
@@ -141,6 +244,12 @@ test -s "$WORK/spectrum.ngsx"
 "$BIN_DIR/ngs_index" info --index "$WORK/spectrum.ngsx" \
   | grep -q "k: 12"
 "$BIN_DIR/ngs_index" verify --index "$WORK/spectrum.ngsx"
+# Machine-readable variant for scripting/monitoring.
+"$BIN_DIR/ngs_index" info --index "$WORK/spectrum.ngsx" --json \
+  > "$WORK/info.json"
+grep -q '"k": 12' "$WORK/info.json"
+grep -q '"checksum": "0x' "$WORK/info.json"
+grep -q '"sections": \[' "$WORK/info.json"
 
 # A corrupted copy must fail verification with the index exit code (and
 # only verification hits the payload pages, so flip a byte deep inside
@@ -210,5 +319,9 @@ expect_exit 4 "$BIN_DIR/ngs_index" verify --index "$WORK/sharded_trunc.ngsx"
   --spill-dir "$WORK" 2>"$WORK/stderr.txt"
 grep -q "spill: pass 1 stayed under" "$WORK/stderr.txt"
 cmp "$WORK/corrected_budget.fastq" "$WORK/corrected_sap.fastq"
+
+# Long-lived correction service: the daemon serves $WORK/sap.ngsx saved
+# above; corrected_sap/corrected_reptile are the offline references.
+service_scenario
 
 echo "tools smoke test passed"

@@ -20,6 +20,7 @@
 // Exit codes: 0 success, 2 usage/config error, 3 input open/parse
 // error, 4 index error (including verify failures), 1 internal error.
 
+#include <cstdio>
 #include <exception>
 #include <iostream>
 #include <optional>
@@ -46,7 +47,7 @@ void print_usage(std::ostream& os) {
      << "  build  --in reads.fastq --out index.ngsx [--k N]\n"
      << "         [--both-strands 0|1] [--threads N] [--batch-size N]\n"
      << "         [--memory-budget-mb N] [--spill-dir DIR]\n"
-     << "  info   --index index.ngsx\n"
+     << "  info   --index index.ngsx [--json]\n"
      << "  verify --index index.ngsx\n";
 }
 
@@ -109,6 +110,65 @@ void print_info(const index::IndexInfo& info, const std::string& path) {
               << " checksum=0x" << std::hex << s.checksum << std::dec
               << "\n";
   }
+}
+
+/// Machine-readable `info --json`: one JSON object with the header
+/// fields, the per-shard summaries, and every section's extent and
+/// checksum. Checksums are emitted as hex strings (they exceed the
+/// interoperable 2^53 integer range); everything else is a number.
+void print_info_json(const index::IndexInfo& info, const std::string& path) {
+  const auto hex = [](std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+  };
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+  std::cout << "{\n"
+            << "  \"path\": \"" << escape(path) << "\",\n"
+            << "  \"format_version\": " << info.format_version << ",\n"
+            << "  \"k\": " << info.build.k << ",\n"
+            << "  \"both_strands\": "
+            << (info.build.both_strands ? "true" : "false") << ",\n"
+            << "  \"distinct_kmers\": " << info.distinct << ",\n"
+            << "  \"total_instances\": " << info.total_instances << ",\n"
+            << "  \"prefix_bits\": " << info.prefix_bits << ",\n"
+            << "  \"input_reads\": " << info.build.input_reads << ",\n"
+            << "  \"input_bases\": " << info.build.input_bases << ",\n"
+            << "  \"max_read_length\": " << info.build.max_read_length
+            << ",\n"
+            << "  \"file_bytes\": " << info.file_bytes << ",\n"
+            << "  \"checksum\": \"" << hex(info.checksum) << "\",\n"
+            << "  \"shard_count\": " << info.shard_count << ",\n"
+            << "  \"shard_bits\": " << info.shard_bits << ",\n"
+            << "  \"shards\": [";
+  for (std::size_t i = 0; i < info.shards.size(); ++i) {
+    const auto& shard = info.shards[i];
+    std::cout << (i == 0 ? "\n" : ",\n")
+              << "    {\"prefix\": " << shard.prefix
+              << ", \"entries\": " << shard.distinct
+              << ", \"instances\": " << shard.total_instances
+              << ", \"prefix_index_bits\": " << shard.prefix_index_bits
+              << "}";
+  }
+  std::cout << (info.shards.empty() ? "],\n" : "\n  ],\n")
+            << "  \"sections\": [";
+  for (std::size_t i = 0; i < info.sections.size(); ++i) {
+    const auto& s = info.sections[i];
+    std::cout << (i == 0 ? "\n" : ",\n")
+              << "    {\"id\": \"" << section_label(s.id) << "\""
+              << ", \"shard_prefix\": " << s.shard_prefix
+              << ", \"offset\": " << s.offset << ", \"bytes\": " << s.bytes
+              << ", \"checksum\": \"" << hex(s.checksum) << "\"}";
+  }
+  std::cout << (info.sections.empty() ? "]\n" : "\n  ]\n") << "}\n";
 }
 
 int run_build(util::CliParser& cli) {
@@ -208,7 +268,12 @@ int run_info(util::CliParser& cli) {
     std::cerr << "ngs-index info: --index is required\n" << cli.usage();
     return 2;
   }
-  print_info(index::SpectrumIndex::read_info(path), path);
+  const auto info = index::SpectrumIndex::read_info(path);
+  if (cli.has("json")) {
+    print_info_json(info, path);
+  } else {
+    print_info(info, path);
+  }
   return 0;
 }
 
@@ -271,6 +336,11 @@ int main(int argc, char** argv) {
                    true, "");
   } else if (subcommand == "info" || subcommand == "verify") {
     cli.add_option("index", "index file to inspect", true, "");
+    if (subcommand == "info") {
+      cli.add_option("json",
+                     "emit the header/section/shard dump as JSON on stdout",
+                     false);
+    }
     cli.add_option("fault-spec",
                    "fault-injection spec (also read from NGS_FAULT_SPEC; "
                    "testing only)",
